@@ -1,0 +1,304 @@
+// Package bootes is a Go reproduction of "Bootes: Boosting the Efficiency of
+// Sparse Accelerators Using Spectral Clustering" (Yadav & Asgari, MICRO'25).
+//
+// Bootes is a preprocessing stage for row-wise-product (Gustavson) SpGEMM
+// accelerators: it reorders the rows of the input matrix A with spectral
+// clustering so that rows with similar column supports become adjacent,
+// maximizing the reuse of B's rows in the accelerator's cache and cutting
+// off-chip memory traffic. A decision-tree cost model predicts, per matrix,
+// whether reordering will pay off at all and which cluster count k to use.
+//
+// # Quick start
+//
+//	m, _ := bootes.ReadMatrixMarket(r)           // or build a Matrix directly
+//	plan, _ := bootes.Plan(m, nil)               // gate + k selection + clustering
+//	if plan.Reordered {
+//	    pm, _ := plan.Apply(m)                   // permuted copy of A
+//	    ... run SpGEMM with pm, then plan.Restore(c) on the output ...
+//	}
+//
+// The packages under internal/ implement every subsystem from scratch:
+// sparse kernels (internal/sparse), a thick-restart Lanczos eigensolver
+// (internal/eigen), k-means (internal/cluster), the three baseline
+// reorderers from the paper (internal/reorder), a CART decision tree
+// (internal/dtree), a cache-accurate accelerator model (internal/accel), and
+// the full experiment harness that regenerates the paper's tables and
+// figures (internal/experiments, driven by cmd/benchsuite).
+package bootes
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"bootes/internal/accel"
+	"bootes/internal/core"
+	"bootes/internal/dtree"
+	"bootes/internal/reorder"
+	"bootes/internal/sparse"
+)
+
+// Matrix is a sparse matrix in CSR format. It aliases the internal
+// representation; construct one with NewMatrix, FromCOO or ReadMatrixMarket.
+type Matrix = sparse.CSR
+
+// Permutation maps new row position to original row (perm[new] = old).
+type Permutation = sparse.Permutation
+
+// NewMatrix builds a validated CSR matrix. val may be nil for a
+// pattern-only matrix (sufficient for all reordering operations).
+func NewMatrix(rows, cols int, rowPtr []int64, col []int32, val []float64) (*Matrix, error) {
+	return sparse.NewCSR(rows, cols, rowPtr, col, val)
+}
+
+// FromCOO builds a matrix from coordinate triples; duplicates are summed.
+func FromCOO(rows, cols int, i, j []int32, v []float64) (*Matrix, error) {
+	if len(i) != len(j) || (v != nil && len(v) != len(i)) {
+		return nil, errors.New("bootes: mismatched COO slice lengths")
+	}
+	coo := sparse.NewCOO(rows, cols, v == nil)
+	for k := range i {
+		val := 1.0
+		if v != nil {
+			val = v[k]
+		}
+		coo.Add(int(i[k]), int(j[k]), val)
+	}
+	return coo.ToCSR()
+}
+
+// ReadMatrixMarket parses a Matrix Market (coordinate) stream.
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) { return sparse.ReadMatrixMarket(r) }
+
+// WriteMatrixMarket writes m in Matrix Market coordinate form.
+func WriteMatrixMarket(w io.Writer, m *Matrix) error { return sparse.WriteMatrixMarket(w, m) }
+
+// ReadBinary parses a matrix in the library's compact binary (BCSR) format,
+// ~10× faster to load than Matrix Market for large matrices.
+func ReadBinary(r io.Reader) (*Matrix, error) { return sparse.ReadBinary(r) }
+
+// WriteBinary writes m in the compact binary (BCSR) format.
+func WriteBinary(w io.Writer, m *Matrix) error { return sparse.WriteBinary(w, m) }
+
+// Options configures the Bootes pipeline.
+type Options struct {
+	// Model is a trained decision-tree gate (see TrainModel / LoadModel).
+	// nil uses a structural heuristic instead.
+	Model *Model
+	// ForceReorder bypasses the gate and always reorders.
+	ForceReorder bool
+	// ForceK fixes the cluster count (must be one of CandidateKs) instead of
+	// letting the gate choose. 0 lets the model/heuristic decide.
+	ForceK int
+	// ImplicitSimilarity avoids materializing S = Ā·Āᵀ (lower peak memory,
+	// one extra matvec per Lanczos step).
+	ImplicitSimilarity bool
+	// Seed makes the pipeline deterministic (Lanczos start vectors, k-means
+	// seeding, feature sampling).
+	Seed int64
+}
+
+// CandidateKs are the cluster counts the pipeline chooses between.
+func CandidateKs() []int { return append([]int(nil), core.CandidateKs...) }
+
+// ReorderPlan is the outcome of planning: the permutation (identity when the
+// gate declined) plus diagnostics.
+type ReorderPlan struct {
+	// Perm maps new row position to original row.
+	Perm Permutation
+	// Reordered is false when the cost model predicted no benefit.
+	Reordered bool
+	// K is the cluster count used (0 when not reordered).
+	K int
+	// PreprocessSeconds is the host-side planning time.
+	PreprocessSeconds float64
+	// FootprintBytes is the modeled peak preprocessing memory.
+	FootprintBytes int64
+}
+
+// Plan runs the Bootes pipeline on m: extract features, consult the gate,
+// and spectrally cluster if advised. opts may be nil for defaults.
+func Plan(m *Matrix, opts *Options) (*ReorderPlan, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	p := &core.Pipeline{
+		Spectral:     core.SpectralOptions{Seed: o.Seed, ImplicitSimilarity: o.ImplicitSimilarity},
+		ForceReorder: o.ForceReorder,
+		ForceK:       o.ForceK,
+	}
+	if o.Model != nil {
+		p.Model = o.Model.tree
+	}
+	res, err := p.Reorder(m)
+	if err != nil {
+		return nil, err
+	}
+	return &ReorderPlan{
+		Perm:              res.Perm,
+		Reordered:         res.Reordered,
+		K:                 int(res.Extra["k"]),
+		PreprocessSeconds: res.PreprocessTime.Seconds(),
+		FootprintBytes:    res.FootprintBytes,
+	}, nil
+}
+
+// Apply returns a copy of m with rows in the plan's order.
+func (p *ReorderPlan) Apply(m *Matrix) (*Matrix, error) {
+	return sparse.PermuteRows(m, p.Perm)
+}
+
+// Restore undoes the plan's row reordering on a matrix whose rows are in the
+// reordered frame — typically the SpGEMM output C, whose row order follows
+// A's (the paper's post-processing step).
+func (p *ReorderPlan) Restore(m *Matrix) (*Matrix, error) {
+	return sparse.UnpermuteRows(m, p.Perm)
+}
+
+// ApplySymmetric returns P·m·Pᵀ for a square matrix: rows and columns are
+// relabelled together. Use it for self-product workloads (C = A·Aᵀ with
+// both operands reordered, graph adjacency analyses) where the row and
+// column spaces are the same entity.
+func (p *ReorderPlan) ApplySymmetric(m *Matrix) (*Matrix, error) {
+	return sparse.PermuteSymmetric(m, p.Perm)
+}
+
+// Model is a trained decision-tree gate.
+type Model struct{ tree *dtree.Tree }
+
+// LoadModel parses a model serialized by Model.Encode.
+func LoadModel(data []byte) (*Model, error) {
+	t, err := dtree.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{tree: t}, nil
+}
+
+// Encode serializes the model to JSON (~a few KB).
+func (m *Model) Encode() ([]byte, error) { return m.tree.Encode() }
+
+// SizeBytes returns the serialized model size.
+func (m *Model) SizeBytes() int64 { return m.tree.ModeledBytes() }
+
+// Baseline identifies one of the paper's comparison reorderers.
+type Baseline int
+
+// The comparison reorderers evaluated by the paper.
+const (
+	// BaselineOriginal performs no reordering.
+	BaselineOriginal Baseline = iota
+	// BaselineGamma is GAMMA's windowed greedy algorithm (Alg. 1).
+	BaselineGamma
+	// BaselineGraph is the FSpGEMM similarity-graph greedy walk (Alg. 2).
+	BaselineGraph
+	// BaselineHier is LSH-seeded hierarchical clustering (Alg. 3).
+	BaselineHier
+)
+
+// ReorderBaseline runs one of the paper's baseline algorithms on m.
+func ReorderBaseline(m *Matrix, b Baseline, seed int64) (*ReorderPlan, error) {
+	var r reorder.Reorderer
+	switch b {
+	case BaselineOriginal:
+		r = reorder.Original{}
+	case BaselineGamma:
+		r = reorder.Gamma{Seed: seed}
+	case BaselineGraph:
+		r = reorder.Graph{Seed: seed}
+	case BaselineHier:
+		r = reorder.Hier{}
+	default:
+		return nil, fmt.Errorf("bootes: unknown baseline %d", b)
+	}
+	res, err := r.Reorder(m)
+	if err != nil {
+		return nil, err
+	}
+	return &ReorderPlan{
+		Perm:              res.Perm,
+		Reordered:         res.Reordered,
+		PreprocessSeconds: res.PreprocessTime.Seconds(),
+		FootprintBytes:    res.FootprintBytes,
+	}, nil
+}
+
+// Accelerator identifies a simulated accelerator target.
+type Accelerator int
+
+// The paper's three target accelerators.
+const (
+	// Flexagon has a 1 MB shared cache and 67 PEs.
+	Flexagon Accelerator = iota
+	// GAMMA has a 3 MB shared cache and 64 PEs.
+	GAMMA
+	// Trapezoid has a 4 MB shared cache and 128 PEs.
+	Trapezoid
+)
+
+func (a Accelerator) config() (accel.Config, error) {
+	switch a {
+	case Flexagon:
+		return accel.Flexagon, nil
+	case GAMMA:
+		return accel.GAMMA, nil
+	case Trapezoid:
+		return accel.Trapezoid, nil
+	default:
+		return accel.Config{}, fmt.Errorf("bootes: unknown accelerator %d", a)
+	}
+}
+
+// String names the accelerator.
+func (a Accelerator) String() string {
+	cfg, err := a.config()
+	if err != nil {
+		return "Unknown"
+	}
+	return cfg.Name
+}
+
+// TrafficReport is the off-chip traffic of one simulated SpGEMM.
+type TrafficReport struct {
+	// ABytes/BBytes/CBytes split traffic by operand.
+	ABytes, BBytes, CBytes int64
+	// CompulsoryBytes is the unbounded-cache lower bound.
+	CompulsoryBytes int64
+	// Flops counts multiply-accumulates; OutputNNZ is nnz(C).
+	Flops, OutputNNZ int64
+	// Cycles is the roofline execution estimate; Seconds converts it at the
+	// accelerator's clock.
+	Cycles  int64
+	Seconds float64
+}
+
+// TotalBytes returns the summed off-chip traffic.
+func (t TrafficReport) TotalBytes() int64 { return t.ABytes + t.BBytes + t.CBytes }
+
+// Simulate runs C = A·B with the row-wise-product dataflow on the given
+// accelerator model and reports off-chip traffic and a cycle estimate.
+func Simulate(a Accelerator, ma, mb *Matrix) (*TrafficReport, error) {
+	cfg, err := a.config()
+	if err != nil {
+		return nil, err
+	}
+	res, err := accel.SimulateRowWise(cfg, ma, mb)
+	if err != nil {
+		return nil, err
+	}
+	return &TrafficReport{
+		ABytes:          res.Traffic.ABytes,
+		BBytes:          res.Traffic.BBytes,
+		CBytes:          res.Traffic.CBytes,
+		CompulsoryBytes: res.Compulsory.Total(),
+		Flops:           res.Flops,
+		OutputNNZ:       res.OutputNNZ,
+		Cycles:          res.Cycles,
+		Seconds:         res.Seconds(),
+	}, nil
+}
+
+// SpGEMM computes C = A·B with Gustavson's row-wise product on the host
+// (numeric, not simulated). Pattern inputs are treated as all-ones.
+func SpGEMM(a, b *Matrix) (*Matrix, error) { return sparse.SpGEMM(a, b) }

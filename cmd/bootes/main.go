@@ -1,0 +1,313 @@
+// Command bootes analyzes, reorders, and simulates sparse matrices with the
+// Bootes pipeline. Matrices are read and written in Matrix Market format.
+//
+// Usage:
+//
+//	bootes analyze  -in A.mtx                     # features + gate decision
+//	bootes reorder  -in A.mtx -out A_reordered.mtx [-k 8] [-force] [-model model.json]
+//	bootes simulate -in A.mtx [-accel Flexagon] [-reorder bootes|gamma|graph|hier|none]
+//	bootes compare  -in A.mtx [-accel GAMMA]      # all methods side by side
+//	bootes spy      -in A.mtx [-pgm out.pgm]      # sparsity pattern plot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"bootes"
+	"bootes/internal/accel"
+	"bootes/internal/core"
+	"bootes/internal/reorder"
+	"bootes/internal/sparse"
+	"bootes/internal/spy"
+	"bootes/internal/trafficmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bootes: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "analyze":
+		cmdAnalyze(args)
+	case "reorder":
+		cmdReorder(args)
+	case "simulate":
+		cmdSimulate(args)
+	case "compare":
+		cmdCompare(args)
+	case "spy":
+		cmdSpy(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: bootes <analyze|reorder|simulate|compare|spy> [flags]")
+	os.Exit(2)
+}
+
+func readMatrix(path string) *sparse.CSR {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	m, err := sparse.ReadMatrixMarket(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return m
+}
+
+func loadModel(path string) *bootes.Model {
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := bootes.LoadModel(data)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return m
+}
+
+func cmdAnalyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("in", "", "input matrix (Matrix Market)")
+	model := fs.String("model", "", "trained decision-tree model (JSON)")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("analyze: -in is required")
+	}
+	m := readMatrix(*in)
+	fmt.Printf("matrix: %s\n", m)
+
+	feats := core.ExtractFeatures(m, core.FeatureOptions{Seed: *seed})
+	vec := feats.Vector()
+	for i, name := range core.FeatureNames {
+		fmt.Printf("  %-12s %.6g\n", name, vec[i])
+	}
+
+	opts := &bootes.Options{Seed: *seed, Model: loadModel(*model)}
+	plan, err := bootes.Plan(m, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if plan.Reordered {
+		fmt.Printf("decision: reorder with k=%d (planning took %.3fs, footprint %d KB)\n",
+			plan.K, plan.PreprocessSeconds, plan.FootprintBytes>>10)
+	} else {
+		fmt.Println("decision: do not reorder (predicted benefit below threshold)")
+	}
+}
+
+func cmdReorder(args []string) {
+	fs := flag.NewFlagSet("reorder", flag.ExitOnError)
+	in := fs.String("in", "", "input matrix (Matrix Market)")
+	out := fs.String("out", "", "output path for the reordered matrix")
+	permOut := fs.String("perm", "", "optional path to write the permutation (one old-row index per line)")
+	k := fs.Int("k", 0, "force cluster count (2,4,8,16,32); 0 = let the gate choose")
+	force := fs.Bool("force", false, "reorder even if the gate declines")
+	model := fs.String("model", "", "trained decision-tree model (JSON)")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		log.Fatal("reorder: -in and -out are required")
+	}
+	m := readMatrix(*in)
+	plan, err := bootes.Plan(m, &bootes.Options{
+		Seed: *seed, ForceK: *k, ForceReorder: *force, Model: loadModel(*model),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !plan.Reordered {
+		fmt.Println("gate declined to reorder; writing the matrix unchanged (use -force to override)")
+	}
+	pm, err := plan.Apply(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := sparse.WriteMatrixMarket(f, pm); err != nil {
+		log.Fatal(err)
+	}
+	if *permOut != "" {
+		pf, err := os.Create(*permOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer pf.Close()
+		for _, old := range plan.Perm {
+			fmt.Fprintln(pf, old)
+		}
+	}
+	fmt.Printf("reordered %s -> %s (k=%d, %.3fs)\n", *in, *out, plan.K, plan.PreprocessSeconds)
+}
+
+func accelByName(name string) (accel.Config, bool) {
+	for _, cfg := range accel.Targets() {
+		if cfg.Name == name {
+			return cfg, true
+		}
+	}
+	return accel.Config{}, false
+}
+
+func reordererByName(name string, seed int64) (reorder.Reorderer, bool) {
+	switch name {
+	case "bootes":
+		return &core.Pipeline{Spectral: core.SpectralOptions{Seed: seed}}, true
+	case "gamma":
+		return reorder.Gamma{Seed: seed}, true
+	case "graph":
+		return reorder.Graph{Seed: seed}, true
+	case "hier":
+		return reorder.Hier{}, true
+	case "none", "original":
+		return reorder.Original{}, true
+	default:
+		return nil, false
+	}
+}
+
+func cmdSimulate(args []string) {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	in := fs.String("in", "", "input matrix A (B is A, or Aᵀ when A is rectangular)")
+	accelName := fs.String("accel", "Flexagon", "accelerator: Flexagon, GAMMA, Trapezoid")
+	method := fs.String("reorder", "bootes", "reordering: bootes, gamma, graph, hier, none")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("simulate: -in is required")
+	}
+	cfg, ok := accelByName(*accelName)
+	if !ok {
+		log.Fatalf("unknown accelerator %q", *accelName)
+	}
+	r, ok := reordererByName(*method, *seed)
+	if !ok {
+		log.Fatalf("unknown reordering method %q", *method)
+	}
+
+	a := readMatrix(*in)
+	b := a
+	if a.Rows != a.Cols {
+		b = sparse.Transpose(a)
+	}
+	res, err := r.Reorder(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ap := a
+	if !res.Perm.IsIdentity() {
+		ap, err = sparse.PermuteRows(a, res.Perm)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	sim, err := accel.SimulateRowWise(cfg, ap, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accelerator: %s\n", cfg)
+	fmt.Printf("reordering:  %s (%.3fs preprocessing)\n", r.Name(), res.PreprocessTime.Seconds())
+	fmt.Printf("traffic:     A %d B %d C %d total %d bytes (compulsory %d)\n",
+		sim.Traffic.ABytes, sim.Traffic.BBytes, sim.Traffic.CBytes,
+		sim.Traffic.Total(), sim.Compulsory.Total())
+	fmt.Printf("compute:     %d MACs, nnz(C)=%d, %d cycles (%.6fs at %.1f GHz)\n",
+		sim.Flops, sim.OutputNNZ, sim.Cycles, sim.Seconds(), 1.0)
+}
+
+func cmdCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	in := fs.String("in", "", "input matrix (Matrix Market)")
+	accelName := fs.String("accel", "GAMMA", "accelerator: Flexagon, GAMMA, Trapezoid")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("compare: -in is required")
+	}
+	cfg, ok := accelByName(*accelName)
+	if !ok {
+		log.Fatalf("unknown accelerator %q", *accelName)
+	}
+	a := readMatrix(*in)
+	b := a
+	if a.Rows != a.Cols {
+		b = sparse.Transpose(a)
+	}
+	fmt.Printf("%s on %s\n", a, cfg)
+	fmt.Printf("%-10s %12s %12s %14s %12s\n", "method", "preproc(s)", "B traffic", "total traffic", "vs none")
+	var baseTotal int64
+	for _, name := range []string{"none", "gamma", "graph", "hier", "bootes"} {
+		r, _ := reordererByName(name, *seed)
+		res, err := r.Reorder(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Quick traffic estimate via the row-LRU model, plus full sim total.
+		est, err := trafficmodel.EstimateBWithPerm(a, b, res.Perm, cfg.CacheBytes, 12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ap := a
+		if !res.Perm.IsIdentity() {
+			ap, err = sparse.PermuteRows(a, res.Perm)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		sim, err := accel.SimulateRowWise(cfg, ap, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if name == "none" {
+			baseTotal = sim.Traffic.Total()
+		}
+		fmt.Printf("%-10s %12.3f %12d %14d %11.2fx\n",
+			name, res.PreprocessTime.Seconds(), est.BTraffic, sim.Traffic.Total(),
+			float64(baseTotal)/float64(sim.Traffic.Total()))
+	}
+}
+
+func cmdSpy(args []string) {
+	fs := flag.NewFlagSet("spy", flag.ExitOnError)
+	in := fs.String("in", "", "input matrix (Matrix Market)")
+	pgm := fs.String("pgm", "", "also write a PGM image to this path")
+	width := fs.Int("width", 64, "ASCII plot width")
+	height := fs.Int("height", 32, "ASCII plot height")
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("spy: -in is required")
+	}
+	m := readMatrix(*in)
+	fmt.Printf("%s\n", m)
+	fmt.Print(spy.ASCII(m, spy.Options{Width: *width, Height: *height}))
+	if *pgm != "" {
+		f, err := os.Create(*pgm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := spy.WritePGM(f, m, spy.Options{}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *pgm)
+	}
+}

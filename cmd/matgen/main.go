@@ -1,0 +1,139 @@
+// Command matgen emits the synthetic evaluation suite (the Table 3 analogs)
+// and parametric archetype matrices as Matrix Market files.
+//
+// Usage:
+//
+//	matgen suite -dir out/ [-scale 0.12] [-only IN,PO]   # Table 3 analogs
+//	matgen one   -out m.mtx -arch scrambled-block -rows 4096 -cols 4096 \
+//	             -density 0.005 [-groups 16] [-seed 7]
+//	matgen list                                          # archetypes + suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bootes/internal/sparse"
+	"bootes/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("matgen: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "suite":
+		cmdSuite(os.Args[2:])
+	case "one":
+		cmdOne(os.Args[2:])
+	case "list":
+		cmdList()
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: matgen <suite|one|list> [flags]")
+	os.Exit(2)
+}
+
+func writeMatrix(path string, m *sparse.CSR) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := sparse.WriteMatrixMarket(f, m); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func cmdSuite(args []string) {
+	fs := flag.NewFlagSet("suite", flag.ExitOnError)
+	dir := fs.String("dir", ".", "output directory")
+	scale := fs.Float64("scale", 0.12, "size scale (1 = paper's full sizes)")
+	only := fs.String("only", "", "comma-separated IDs to restrict to")
+	fs.Parse(args)
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, spec := range workloads.Table3() {
+		if len(want) > 0 && !want[spec.ID] {
+			continue
+		}
+		m := spec.Generate(*scale)
+		path := filepath.Join(*dir, fmt.Sprintf("%s_%s.mtx", spec.ID, spec.Name))
+		writeMatrix(path, m)
+		fmt.Printf("%-3s %-20s %7dx%-7d nnz=%-9d -> %s\n", spec.ID, spec.Name, m.Rows, m.Cols, m.NNZ(), path)
+	}
+}
+
+func archByName(name string) (workloads.Archetype, bool) {
+	for _, a := range []workloads.Archetype{
+		workloads.ArchScrambledBlock, workloads.ArchFEM, workloads.ArchPowerLaw,
+		workloads.ArchCircuit, workloads.ArchLP, workloads.ArchKNN,
+		workloads.ArchBanded, workloads.ArchRandom,
+	} {
+		if a.String() == name {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+func cmdOne(args []string) {
+	fs := flag.NewFlagSet("one", flag.ExitOnError)
+	out := fs.String("out", "", "output path")
+	arch := fs.String("arch", "scrambled-block", "archetype (see `matgen list`)")
+	rows := fs.Int("rows", 4096, "rows")
+	cols := fs.Int("cols", 0, "cols (default rows)")
+	density := fs.Float64("density", 0.005, "target density")
+	groups := fs.Int("groups", 0, "hidden group count (archetype-specific)")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	if *out == "" {
+		log.Fatal("one: -out is required")
+	}
+	a, ok := archByName(*arch)
+	if !ok {
+		log.Fatalf("unknown archetype %q (see `matgen list`)", *arch)
+	}
+	if *cols == 0 {
+		*cols = *rows
+	}
+	m := workloads.Generate(a, workloads.Params{
+		Rows: *rows, Cols: *cols, Density: *density, Seed: *seed, Groups: *groups,
+	})
+	writeMatrix(*out, m)
+	fmt.Printf("%s: %s -> %s\n", *arch, m, *out)
+}
+
+func cmdList() {
+	fmt.Println("archetypes:")
+	for _, a := range []workloads.Archetype{
+		workloads.ArchScrambledBlock, workloads.ArchFEM, workloads.ArchPowerLaw,
+		workloads.ArchCircuit, workloads.ArchLP, workloads.ArchKNN,
+		workloads.ArchBanded, workloads.ArchRandom,
+	} {
+		fmt.Printf("  %s\n", a)
+	}
+	fmt.Println("\nsuite (paper Table 3):")
+	for _, s := range workloads.Table3() {
+		fmt.Printf("  %-3s %-20s %6dk x %6dk density %.2e (%s)\n",
+			s.ID, s.Name, s.Rows/1000, s.Cols/1000, s.Density, s.Archetype)
+	}
+}

@@ -1,0 +1,41 @@
+// Command trainer builds the synthetic labelled corpus, trains the Bootes
+// decision-tree gate, reports its accuracy (paper §5.1), and serializes the
+// model for use with `bootes -model` and the library's Options.Model.
+//
+// Usage:
+//
+//	trainer -out model.json [-scale 0.12] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"bootes"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trainer: ")
+	out := flag.String("out", "model.json", "output path for the trained model")
+	scale := flag.Float64("scale", 0.12, "corpus size scale (larger = slower, better calibrated)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	model, stats, err := bootes.TrainModel(*scale, *seed, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := model.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s (%d bytes)\n", *out, len(data))
+	fmt.Printf("corpus %d matrices, test accuracy %.1f%%, gate %.1f%%, tolerant %.1f%%\n",
+		stats.CorpusSize, 100*stats.TestAccuracy, 100*stats.GateAccuracy, 100*stats.TolerantAccuracy)
+}

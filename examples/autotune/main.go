@@ -1,0 +1,92 @@
+// Autotune: train the decision-tree gate on the synthetic corpus, persist
+// it, and watch it route a zoo of matrices — reorder-friendly and
+// reorder-hostile — to the right action with the right cluster count,
+// reproducing the paper's §3.2 workflow end to end.
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"bootes"
+	"bootes/internal/workloads"
+)
+
+func main() {
+	// Train a small gate (scale 0.08 keeps this example under ~3 minutes;
+	// cmd/trainer trains the full-size one).
+	fmt.Println("training the decision-tree gate on the synthetic corpus...")
+	model, stats, err := bootes.TrainModel(0.08, 1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  corpus %d matrices — test accuracy %.0f%%, gate %.0f%%, tolerant %.0f%%, model %d bytes\n\n",
+		stats.CorpusSize, 100*stats.TestAccuracy, 100*stats.GateAccuracy,
+		100*stats.TolerantAccuracy, stats.ModelBytes)
+
+	// Persist and reload — the model is a few KB of JSON, cheap enough to
+	// ship with a deployment (the paper highlights its 11 KB footprint).
+	path := filepath.Join(os.TempDir(), "bootes-model.json")
+	data, err := model.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := bootes.LoadModel(mustRead(path))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model round-tripped through %s (%d bytes)\n\n", path, len(data))
+
+	// A zoo of unseen matrices. The gate should reorder the hidden-block
+	// ones and skip the structure-free and already-ordered ones.
+	type entry struct {
+		name       string
+		arch       workloads.Archetype
+		groups     int
+		wantAction string
+	}
+	entries := []entry{
+		{"scrambled-block/16", workloads.ArchScrambledBlock, 16, "reorder"},
+		{"scrambled-block/4", workloads.ArchScrambledBlock, 4, "reorder"},
+		{"banded", workloads.ArchBanded, 0, "skip"},
+		{"uniform-random", workloads.ArchRandom, 0, "skip"},
+		{"fem-mesh", workloads.ArchFEM, 0, "skip"},
+		{"power-law graph", workloads.ArchPowerLaw, 0, "skip"},
+	}
+	fmt.Printf("%-20s %10s %8s %12s\n", "matrix", "decision", "k", "expected")
+	for i, e := range entries {
+		m := workloads.Generate(e.arch, workloads.Params{
+			Rows: 2048, Cols: 2048, Density: 0.008, Seed: 100 + int64(i), Groups: e.groups,
+		})
+		plan, err := bootes.Plan(m, &bootes.Options{Model: loaded, Seed: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		decision := "skip"
+		kStr := "-"
+		if plan.Reordered {
+			decision = "reorder"
+			kStr = fmt.Sprintf("k=%d", plan.K)
+		}
+		marker := ""
+		if decision != e.wantAction {
+			marker = "  (differs from rule of thumb — the model judged the realized gain)"
+		}
+		fmt.Printf("%-20s %10s %8s %12s%s\n", e.name, decision, kStr, e.wantAction, marker)
+	}
+}
+
+func mustRead(path string) []byte {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return data
+}

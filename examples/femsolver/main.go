@@ -1,0 +1,97 @@
+// FEM assembly pipeline: sparse matrix products over assembled finite-
+// element operators. A freshly meshed (well-numbered) operator needs no
+// reordering — its natural order already groups similar rows — but after
+// adaptive refinement or domain decomposition the row numbering is
+// effectively scrambled while the underlying block structure survives.
+// This example runs both variants through the Bootes pipeline and shows
+// (a) the gate skipping the well-ordered operator and (b) the scrambled
+// operator recovering its locality, measured on all three accelerators.
+//
+//	go run ./examples/femsolver
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"bootes"
+	"bootes/internal/sparse"
+	"bootes/internal/workloads"
+)
+
+func main() {
+	// A well-numbered 2-D mesh stencil: adjacent rows already share columns.
+	mesh := workloads.FEMMesh(workloads.Params{
+		Rows: 16384, Cols: 16384, Density: 0.0008, Seed: 5, ScramblePct: -1,
+	})
+	// The same operator after a pathological renumbering (e.g. partition
+	// interleaving): identical sparsity structure, scrambled row order.
+	scrambled := shuffleSymmetric(mesh, 99)
+
+	for _, tc := range []struct {
+		name string
+		m    *sparse.CSR
+	}{
+		{"well-numbered mesh", mesh},
+		{"scrambled mesh", scrambled},
+	} {
+		fmt.Printf("%s: %v\n", tc.name, tc.m)
+		plan, err := bootes.Plan(tc.m, &bootes.Options{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !plan.Reordered {
+			fmt.Printf("  gate: skip reordering (nothing to gain) — %.0f ms spent deciding\n\n",
+				plan.PreprocessSeconds*1000)
+			continue
+		}
+		fmt.Printf("  gate: reorder with k=%d (%.2fs)\n", plan.K, plan.PreprocessSeconds)
+		rm, err := plan.Apply(tc.m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, acc := range []bootes.Accelerator{bootes.Flexagon, bootes.GAMMA, bootes.Trapezoid} {
+			before, err := bootes.Simulate(acc, tc.m, tc.m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			after, err := bootes.Simulate(acc, rm, tc.m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-10s B traffic %9d -> %9d bytes (%.2fx)\n",
+				acc, before.BBytes, after.BBytes,
+				float64(before.BBytes)/float64(after.BBytes))
+		}
+		fmt.Println()
+	}
+}
+
+// shuffleSymmetric applies the same random permutation to rows and columns,
+// preserving the operator's structure while destroying its numbering.
+func shuffleSymmetric(m *sparse.CSR, seed int64) *sparse.CSR {
+	perm := sparse.IdentityPerm(m.Rows)
+	rng := newRand(seed)
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	pm, err := sparse.PermuteRows(m, perm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Relabel columns with the inverse permutation so the pattern stays
+	// symmetric-equivalent.
+	inv := perm.Inverse()
+	coo := sparse.NewCOO(pm.Rows, pm.Cols, true)
+	for i := 0; i < pm.Rows; i++ {
+		for _, c := range pm.Row(i) {
+			coo.AddPattern(i, int(inv[c]))
+		}
+	}
+	out, err := coo.ToCSR()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,3 @@
+module bootes
+
+go 1.22

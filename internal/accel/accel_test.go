@@ -1,0 +1,284 @@
+package accel
+
+import (
+	"testing"
+
+	"bootes/internal/sparse"
+	"bootes/internal/workloads"
+)
+
+func TestCacheLRUBasics(t *testing.T) {
+	// 2 sets × 2 ways × 64 B lines = 256 B.
+	c := NewCache(256, 64, 2)
+	if c.CapacityBytes() != 256 {
+		t.Fatalf("capacity %d", c.CapacityBytes())
+	}
+	if !c.AccessLine(0) {
+		t.Error("cold access should miss")
+	}
+	if c.AccessLine(0) {
+		t.Error("second access should hit")
+	}
+	// Lines 0 and 128 map to set 0 (two sets of 64 B lines).
+	c.AccessLine(128)
+	if c.AccessLine(0) || c.AccessLine(128) {
+		t.Error("both ways should be resident")
+	}
+	// Third distinct line in set 0 evicts LRU (line 0 was touched after 128,
+	// so 128 is evicted... actually 0 then 128 then 0,128: LRU is 0).
+	c.AccessLine(256)
+	if c.Evictions == 0 {
+		t.Error("expected an eviction")
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := NewCache(128, 64, 2) // 1 set, 2 ways
+	c.AccessLine(0)
+	c.AccessLine(64)
+	c.AccessLine(0)   // 64 is now LRU
+	c.AccessLine(128) // evicts 64
+	if c.AccessLine(0) {
+		t.Error("line 0 should have survived (MRU)")
+	}
+	if !c.AccessLine(64) {
+		t.Error("line 64 should have been evicted")
+	}
+}
+
+func TestAccessRangeSpansLines(t *testing.T) {
+	c := NewCache(1<<20, 64, 16)
+	miss := c.AccessRange(10, 100) // spans lines 0 and 1
+	if miss != 128 {
+		t.Errorf("missBytes = %d, want 128", miss)
+	}
+	if c.AccessRange(10, 100) != 0 {
+		t.Error("second range access should fully hit")
+	}
+	if c.AccessRange(0, 0) != 0 {
+		t.Error("empty range should be free")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{Name: "X", PEs: 4, CacheBytes: 1 << 20}.withDefaults()
+	if cfg.LineBytes != 64 || cfg.Ways != 16 || cfg.ElementBytes != 12 {
+		t.Error("defaults not applied")
+	}
+	if len(Targets()) != 3 {
+		t.Error("want 3 target accelerators")
+	}
+}
+
+func smallSuite() (a *sparse.CSR) {
+	return workloads.ScrambledBlock(workloads.Params{
+		Rows: 1024, Cols: 1024, Density: 0.01, Seed: 4, Groups: 8,
+	})
+}
+
+func TestRowWiseTrafficBounds(t *testing.T) {
+	a := smallSuite()
+	cfg := Config{Name: "tiny", PEs: 8, CacheBytes: 8 << 10}
+	res, err := SimulateRowWise(cfg, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Traffic.BBytes < res.Compulsory.BBytes {
+		t.Errorf("B traffic %d below compulsory %d", res.Traffic.BBytes, res.Compulsory.BBytes)
+	}
+	if res.Traffic.ABytes != res.Compulsory.ABytes {
+		t.Error("A should stream exactly once")
+	}
+	if res.Traffic.CBytes < res.Compulsory.CBytes {
+		t.Error("C traffic below compulsory")
+	}
+	if res.Flops <= 0 || res.OutputNNZ <= 0 || res.Cycles <= 0 {
+		t.Error("missing counters")
+	}
+	if res.CacheHits+res.CacheMisses == 0 {
+		t.Error("cache untouched")
+	}
+}
+
+func TestRowWiseLargerCacheNeverWorse(t *testing.T) {
+	a := smallSuite()
+	small, err := SimulateRowWise(Config{Name: "s", PEs: 8, CacheBytes: 4 << 10}, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := SimulateRowWise(Config{Name: "b", PEs: 8, CacheBytes: 1 << 20}, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Traffic.BBytes > small.Traffic.BBytes {
+		t.Errorf("bigger cache increased traffic: %d > %d", big.Traffic.BBytes, small.Traffic.BBytes)
+	}
+}
+
+func TestRowWiseReorderingReducesTraffic(t *testing.T) {
+	// Group rows by hidden template via a cheating permutation (sort rows by
+	// their first column) and verify the simulator rewards it.
+	a := smallSuite()
+	perm := sparse.IdentityPerm(a.Rows)
+	firstCol := func(r int32) int32 {
+		row := a.Row(int(r))
+		if len(row) == 0 {
+			return 1 << 30
+		}
+		return row[0]
+	}
+	// Simple stable sort by first column.
+	ordered := append(sparse.Permutation(nil), perm...)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && firstCol(ordered[j]) < firstCol(ordered[j-1]); j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	ap, err := sparse.PermuteRows(a, ordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Name: "t", PEs: 8, CacheBytes: 8 << 10}
+	base, err := SimulateRowWise(cfg, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	better, err := SimulateRowWise(cfg, ap, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if better.Traffic.BBytes >= base.Traffic.BBytes {
+		t.Errorf("grouped order traffic %d not below original %d", better.Traffic.BBytes, base.Traffic.BBytes)
+	}
+}
+
+func TestRowWiseDimensionError(t *testing.T) {
+	if _, err := SimulateRowWise(Flexagon, sparse.Zero(2, 3), sparse.Zero(4, 4)); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestDataflowComparisonTable1(t *testing.T) {
+	// The Table 1 qualitative claims, quantitatively: on a sparse matrix
+	// with a small cache, inner product over-fetches B, outer product
+	// explodes C (psum) traffic, and row-wise sits in between on both.
+	a := smallSuite()
+	cfg := Config{Name: "t1", PEs: 8, CacheBytes: 8 << 10}
+	inner, err := SimulateDataflow(InnerProduct, cfg, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := SimulateDataflow(OuterProduct, cfg, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := SimulateDataflow(RowWiseProduct, cfg, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(inner.Traffic.BBytes > row.Traffic.BBytes) {
+		t.Errorf("inner B traffic %d should exceed row-wise %d", inner.Traffic.BBytes, row.Traffic.BBytes)
+	}
+	if !(outer.Traffic.CBytes > row.Traffic.CBytes) {
+		t.Errorf("outer C traffic %d should exceed row-wise %d", outer.Traffic.CBytes, row.Traffic.CBytes)
+	}
+	if !(outer.Traffic.BBytes <= row.Traffic.BBytes) {
+		t.Errorf("outer B traffic %d should not exceed row-wise %d (perfect input reuse)", outer.Traffic.BBytes, row.Traffic.BBytes)
+	}
+	// Row-wise total should beat both extremes on this workload.
+	if row.Traffic.Total() >= inner.Traffic.Total() || row.Traffic.Total() >= outer.Traffic.Total() {
+		t.Errorf("row-wise total %d should be least (inner %d, outer %d)",
+			row.Traffic.Total(), inner.Traffic.Total(), outer.Traffic.Total())
+	}
+}
+
+func TestDataflowKindString(t *testing.T) {
+	if InnerProduct.String() != "Inner" || OuterProduct.String() != "Outer" || RowWiseProduct.String() != "Row-wise" {
+		t.Error("dataflow names wrong")
+	}
+	if DataflowKind(99).String() != "Unknown" {
+		t.Error("unknown dataflow name wrong")
+	}
+	if _, err := SimulateDataflow(DataflowKind(99), Flexagon, sparse.Zero(1, 1), sparse.Zero(1, 1)); err == nil {
+		t.Error("unknown dataflow accepted")
+	}
+}
+
+func TestNormalizedTraffic(t *testing.T) {
+	a := smallSuite()
+	res, err := SimulateRowWise(Config{Name: "n", PEs: 8, CacheBytes: 8 << 10}, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, nb, nc := res.NormalizedTraffic()
+	if na <= 0 || nb <= 0 || nc <= 0 {
+		t.Error("normalized components should be positive")
+	}
+	if na+nb+nc < 1 {
+		t.Error("total normalized traffic below 1 (less than compulsory?)")
+	}
+	if res.Seconds() <= 0 {
+		t.Error("Seconds should be positive")
+	}
+}
+
+func TestEmptyMatrixSimulation(t *testing.T) {
+	z := sparse.Zero(4, 4)
+	res, err := SimulateRowWise(Flexagon, z, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Traffic.BBytes != 0 || res.Flops != 0 || res.OutputNNZ != 0 {
+		t.Error("empty matrix produced traffic")
+	}
+}
+
+func TestPEPrivateCacheReducesSharedPressure(t *testing.T) {
+	a := smallSuite()
+	flat, err := SimulateRowWise(Config{Name: "flat", PEs: 8, CacheBytes: 8 << 10}, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoLevel, err := SimulateRowWise(Config{
+		Name: "2lvl", PEs: 8, CacheBytes: 8 << 10, PEPrivateCacheBytes: 2 << 10,
+	}, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The private level filters repeated accesses within a PE's current
+	// rows, so DRAM traffic must not increase and shared-cache accesses drop.
+	if twoLevel.Traffic.BBytes > flat.Traffic.BBytes {
+		t.Errorf("two-level traffic %d exceeds flat %d", twoLevel.Traffic.BBytes, flat.Traffic.BBytes)
+	}
+	if twoLevel.CacheHits+twoLevel.CacheMisses >= flat.CacheHits+flat.CacheMisses {
+		t.Errorf("private level did not filter shared-cache accesses (%d vs %d)",
+			twoLevel.CacheHits+twoLevel.CacheMisses, flat.CacheHits+flat.CacheMisses)
+	}
+	if twoLevel.Traffic.BBytes < twoLevel.Compulsory.BBytes {
+		t.Error("two-level traffic below compulsory")
+	}
+}
+
+func TestPEUtilization(t *testing.T) {
+	a := smallSuite()
+	// Memory-starved config: tiny bandwidth → low utilization.
+	starved, err := SimulateRowWise(Config{Name: "slow", PEs: 8, CacheBytes: 8 << 10, HBMBytesPerCycle: 1}, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous bandwidth → compute-bound, utilization 1.
+	fast, err := SimulateRowWise(Config{Name: "fast", PEs: 8, CacheBytes: 8 << 10, HBMBytesPerCycle: 1 << 20}, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := starved.PEUtilization(); u > 0.5 {
+		t.Errorf("starved utilization %v, want low", u)
+	}
+	if u := fast.PEUtilization(); u < 0.99 {
+		t.Errorf("fast utilization %v, want ≈1", u)
+	}
+	var empty Result
+	if empty.PEUtilization() != 0 {
+		t.Error("empty result utilization should be 0")
+	}
+}

@@ -1,0 +1,122 @@
+// Package accel models the class of row-wise-product SpGEMM accelerators
+// Bootes targets (Flexagon, GAMMA, Trapezoid): a PE array sharing a
+// set-associative on-chip cache in front of HBM. The model tracks off-chip
+// traffic separately for operands A, B and C — the paper's primary metric —
+// and provides a first-order cycle model (compute/memory roofline with
+// bandwidth contention) for end-to-end speedup studies. Inner-product and
+// outer-product dataflow models back the Table 1 comparison.
+package accel
+
+// Cache is a set-associative cache with true-LRU replacement over fixed-size
+// lines. Addresses are abstract byte addresses in the simulated accelerator
+// address space.
+type Cache struct {
+	lineBytes  int64
+	ways       int
+	sets       int64
+	tags       []int64 // sets×ways; -1 = invalid
+	lru        []int64 // per-line last-use stamp
+	stamp      int64
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	DirtyLines map[int64]struct{} // tracked only when write-back accounting is on
+	writeBack  bool
+}
+
+// NewCache builds a cache of capacity bytes with the given line size and
+// associativity. Capacity is rounded down to a whole number of sets; a
+// minimum of one set is kept.
+func NewCache(capacity int64, lineBytes int64, ways int) *Cache {
+	if lineBytes <= 0 {
+		lineBytes = 64
+	}
+	if ways <= 0 {
+		ways = 16
+	}
+	sets := capacity / (lineBytes * int64(ways))
+	if sets < 1 {
+		sets = 1
+	}
+	// Power-of-two sets make indexing a mask.
+	p := int64(1)
+	for p*2 <= sets {
+		p *= 2
+	}
+	sets = p
+	c := &Cache{
+		lineBytes: lineBytes,
+		ways:      ways,
+		sets:      sets,
+		tags:      make([]int64, sets*int64(ways)),
+		lru:       make([]int64, sets*int64(ways)),
+	}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+// LineBytes returns the cache line size.
+func (c *Cache) LineBytes() int64 { return c.lineBytes }
+
+// CapacityBytes returns the effective capacity after set rounding.
+func (c *Cache) CapacityBytes() int64 { return c.sets * int64(c.ways) * c.lineBytes }
+
+// Reset invalidates all lines and clears counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = -1
+		c.lru[i] = 0
+	}
+	c.stamp = 0
+	c.Hits = 0
+	c.Misses = 0
+	c.Evictions = 0
+}
+
+// AccessLine touches the single line containing addr and returns true on a
+// miss (i.e. the line had to be fetched from DRAM).
+func (c *Cache) AccessLine(addr int64) bool {
+	line := addr / c.lineBytes
+	set := line & (c.sets - 1)
+	base := set * int64(c.ways)
+	c.stamp++
+	var victim int64 = base
+	oldest := c.lru[base]
+	for w := int64(0); w < int64(c.ways); w++ {
+		i := base + w
+		if c.tags[i] == line {
+			c.lru[i] = c.stamp
+			c.Hits++
+			return false
+		}
+		if c.lru[i] < oldest {
+			oldest = c.lru[i]
+			victim = i
+		}
+	}
+	if c.tags[victim] != -1 {
+		c.Evictions++
+	}
+	c.tags[victim] = line
+	c.lru[victim] = c.stamp
+	c.Misses++
+	return true
+}
+
+// AccessRange touches every line in [addr, addr+size) and returns the number
+// of bytes fetched from DRAM (misses × line size).
+func (c *Cache) AccessRange(addr, size int64) (missBytes int64) {
+	if size <= 0 {
+		return 0
+	}
+	first := addr / c.lineBytes
+	last := (addr + size - 1) / c.lineBytes
+	for line := first; line <= last; line++ {
+		if c.AccessLine(line * c.lineBytes) {
+			missBytes += c.lineBytes
+		}
+	}
+	return missBytes
+}

@@ -1,0 +1,72 @@
+package accel
+
+import "fmt"
+
+// Config describes one accelerator instance. The three presets mirror the
+// paper's methodology section: Flexagon (1 MB cache, 67 PEs), GAMMA (3 MB,
+// 64 PEs), Trapezoid (4 MB, 128 PEs), all with HBM main memory.
+type Config struct {
+	Name string
+	// PEs is the number of processing elements, each retiring one
+	// multiply-accumulate per cycle.
+	PEs int
+	// CacheBytes is the shared on-chip cache capacity.
+	CacheBytes int64
+	// LineBytes is the cache line size (default 64).
+	LineBytes int64
+	// Ways is the cache associativity (default 16).
+	Ways int
+	// ElementBytes is the storage cost of one stored nonzero: value plus
+	// column index (default 12 = 8-byte value + 4-byte index).
+	ElementBytes int64
+	// HBMBytesPerCycle is the off-chip bandwidth per clock (default 128,
+	// ≈ 256 GB/s at 2 GHz).
+	HBMBytesPerCycle int64
+	// ClockGHz converts cycles to seconds (default 1.0).
+	ClockGHz float64
+	// PERowBufferBytes is the per-PE buffer for the output row accumulator;
+	// output rows larger than this spill partial sums to DRAM (default 16 KB).
+	PERowBufferBytes int64
+	// PEPrivateCacheBytes optionally adds a small private B-line buffer in
+	// front of the shared cache at each PE (GAMMA's FiberCache-style
+	// hierarchy). 0 disables the level.
+	PEPrivateCacheBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LineBytes == 0 {
+		c.LineBytes = 64
+	}
+	if c.Ways == 0 {
+		c.Ways = 16
+	}
+	if c.ElementBytes == 0 {
+		c.ElementBytes = 12
+	}
+	if c.HBMBytesPerCycle == 0 {
+		c.HBMBytesPerCycle = 128
+	}
+	if c.ClockGHz == 0 {
+		c.ClockGHz = 1.0
+	}
+	if c.PERowBufferBytes == 0 {
+		c.PERowBufferBytes = 16 << 10
+	}
+	return c
+}
+
+// String summarizes the configuration.
+func (c Config) String() string {
+	c = c.withDefaults()
+	return fmt.Sprintf("%s{PEs=%d cache=%dKB line=%dB ways=%d}", c.Name, c.PEs, c.CacheBytes>>10, c.LineBytes, c.Ways)
+}
+
+// The paper's three target accelerators (§4 Methodology).
+var (
+	Flexagon  = Config{Name: "Flexagon", PEs: 67, CacheBytes: 1 << 20}
+	GAMMA     = Config{Name: "GAMMA", PEs: 64, CacheBytes: 3 << 20}
+	Trapezoid = Config{Name: "Trapezoid", PEs: 128, CacheBytes: 4 << 20}
+)
+
+// Targets lists the paper's accelerators in presentation order.
+func Targets() []Config { return []Config{Flexagon, GAMMA, Trapezoid} }

@@ -1,0 +1,168 @@
+package accel
+
+import (
+	"math"
+
+	"bootes/internal/sparse"
+)
+
+// DataflowKind labels the three canonical SpGEMM dataflows (paper Table 1).
+type DataflowKind int
+
+// The three dataflows compared in the paper's background section.
+const (
+	InnerProduct DataflowKind = iota
+	OuterProduct
+	RowWiseProduct
+)
+
+// String names the dataflow.
+func (k DataflowKind) String() string {
+	switch k {
+	case InnerProduct:
+		return "Inner"
+	case OuterProduct:
+		return "Outer"
+	case RowWiseProduct:
+		return "Row-wise"
+	default:
+		return "Unknown"
+	}
+}
+
+// SimulateDataflow runs one of the three dataflows. Row-wise uses the full
+// cache simulation; inner and outer products use first-order analytic
+// models that capture their defining behaviours: the inner product refetches
+// B once per output row sweep (poor input reuse, index intersection), and
+// the outer product spills large partial-product matrices (poor output
+// reuse). These back the Table 1 qualitative comparison quantitatively.
+func SimulateDataflow(kind DataflowKind, cfg Config, a, b *sparse.CSR) (*Result, error) {
+	switch kind {
+	case RowWiseProduct:
+		return SimulateRowWise(cfg, a, b)
+	case InnerProduct:
+		return simulateInner(cfg, a, b)
+	case OuterProduct:
+		return simulateOuter(cfg, a, b)
+	default:
+		return nil, ErrDim
+	}
+}
+
+func compulsory(cfg Config, a, b, cPattern *sparse.CSR) Traffic {
+	elem := cfg.ElementBytes
+	var t Traffic
+	t.ABytes = a.NNZ()*elem + int64(a.Rows+1)*8
+	bReferenced := make([]bool, b.Rows)
+	for _, k := range a.Col {
+		bReferenced[k] = true
+	}
+	for k, ref := range bReferenced {
+		if ref {
+			t.BBytes += (b.RowPtr[k+1] - b.RowPtr[k]) * elem
+		}
+	}
+	t.CBytes = cPattern.NNZ()*elem + int64(a.Rows+1)*8
+	return t
+}
+
+// simulateInner models the inner-product dataflow: for every non-empty row
+// of A the entire referenced portion of B is swept column by column, so B is
+// refetched once per row sweep whenever it exceeds the cache. Index
+// intersection makes every comparison an "op".
+func simulateInner(cfg Config, a, b *sparse.CSR) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if a.Cols != b.Rows {
+		return nil, ErrDim
+	}
+	res := &Result{Config: cfg}
+	elem := cfg.ElementBytes
+
+	cPattern, err := sparse.SpGEMMPattern(a.Pattern(), b.Pattern())
+	if err != nil {
+		return nil, err
+	}
+	res.OutputNNZ = cPattern.NNZ()
+	res.Compulsory = compulsory(cfg, a, b, cPattern)
+
+	nonEmptyRows := int64(0)
+	for i := 0; i < a.Rows; i++ {
+		if a.RowNNZ(i) > 0 {
+			nonEmptyRows++
+		}
+	}
+	bt := sparse.Transpose(b.Pattern())
+	nonEmptyCols := int64(0)
+	for j := 0; j < bt.Rows; j++ {
+		if bt.RowNNZ(j) > 0 {
+			nonEmptyCols++
+		}
+	}
+
+	// Index-intersection work: every evaluated (row, column) pair walks both
+	// index lists: Σ_i Σ_j (nnzA(i)+nnzB(:,j)) over non-empty pairs.
+	res.Flops = a.NNZ()*nonEmptyCols + b.NNZ()*nonEmptyRows
+
+	bBytes := b.NNZ() * elem
+	res.Traffic.ABytes = res.Compulsory.ABytes // A row held in PE buffer per sweep
+	if bBytes > cfg.CacheBytes {
+		res.Traffic.BBytes = nonEmptyRows * bBytes // refetched every sweep
+	} else {
+		res.Traffic.BBytes = bBytes
+	}
+	res.Traffic.CBytes = res.Compulsory.CBytes // perfect output reuse
+
+	computeCycles := int64(math.Ceil(float64(res.Flops) / float64(cfg.PEs)))
+	memCycles := int64(math.Ceil(float64(res.Traffic.Total()) / float64(cfg.HBMBytesPerCycle)))
+	res.Cycles = maxI64(computeCycles, memCycles)
+	return res, nil
+}
+
+// simulateOuter models the outer-product dataflow: inputs stream exactly
+// once (perfect input reuse) but the partial-product matrices — one per
+// shared dimension index — are spilled and re-read for merging when they
+// exceed on-chip storage.
+func simulateOuter(cfg Config, a, b *sparse.CSR) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if a.Cols != b.Rows {
+		return nil, ErrDim
+	}
+	res := &Result{Config: cfg}
+	elem := cfg.ElementBytes
+
+	cPattern, err := sparse.SpGEMMPattern(a.Pattern(), b.Pattern())
+	if err != nil {
+		return nil, err
+	}
+	res.OutputNNZ = cPattern.NNZ()
+	res.Compulsory = compulsory(cfg, a, b, cPattern)
+
+	flops, err := sparse.FlopCount(a, b)
+	if err != nil {
+		return nil, err
+	}
+	res.Flops = flops
+
+	res.Traffic.ABytes = res.Compulsory.ABytes
+	res.Traffic.BBytes = res.Compulsory.BBytes
+	psumBytes := flops * elem // every partial product materializes once
+	finalBytes := res.OutputNNZ*elem + int64(a.Rows+1)*8
+	if psumBytes > cfg.CacheBytes {
+		// Spill all psums, read them back for the merge, write the result.
+		res.Traffic.CBytes = 2*psumBytes + finalBytes
+	} else {
+		res.Traffic.CBytes = finalBytes
+	}
+
+	computeCycles := int64(math.Ceil(float64(flops) / float64(cfg.PEs)))
+	memCycles := int64(math.Ceil(float64(res.Traffic.Total()) / float64(cfg.HBMBytesPerCycle)))
+	res.Cycles = maxI64(computeCycles, memCycles)
+	return res, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

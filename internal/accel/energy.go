@@ -1,0 +1,57 @@
+package accel
+
+// EnergyModel holds first-order energy coefficients. The defaults follow the
+// numbers the paper cites (Dally): moving a byte from off-chip memory costs
+// three to four orders of magnitude more energy than a multiply-accumulate,
+// which is why traffic reduction translates directly into efficiency.
+type EnergyModel struct {
+	// PJPerMAC is the energy of one multiply-accumulate (default 1 pJ).
+	PJPerMAC float64
+	// PJPerDRAMByte is the energy of moving one byte from HBM/DRAM
+	// (default 40 pJ/byte ≈ 320 pJ per 8-byte word, mid-range of the
+	// 4000×–64000× per-word factors the paper quotes).
+	PJPerDRAMByte float64
+	// PJPerCacheByte is the energy of an on-chip cache access
+	// (default 1 pJ/byte).
+	PJPerCacheByte float64
+}
+
+// DefaultEnergy returns the literature-derived coefficients.
+func DefaultEnergy() EnergyModel {
+	return EnergyModel{PJPerMAC: 1, PJPerDRAMByte: 40, PJPerCacheByte: 1}
+}
+
+// Energy summarizes where a run's energy went (picojoules).
+type Energy struct {
+	ComputePJ float64 // MACs
+	DRAMPJ    float64 // off-chip traffic
+	CachePJ   float64 // on-chip cache accesses
+}
+
+// TotalPJ returns the summed energy.
+func (e Energy) TotalPJ() float64 { return e.ComputePJ + e.DRAMPJ + e.CachePJ }
+
+// MemoryShare returns the fraction of energy spent on data movement
+// (DRAM + cache), the quantity the paper's efficiency argument hinges on.
+func (e Energy) MemoryShare() float64 {
+	t := e.TotalPJ()
+	if t == 0 {
+		return 0
+	}
+	return (e.DRAMPJ + e.CachePJ) / t
+}
+
+// Energy estimates the run's energy under the model m (zero-value m selects
+// DefaultEnergy).
+func (r *Result) Energy(m EnergyModel) Energy {
+	if m == (EnergyModel{}) {
+		m = DefaultEnergy()
+	}
+	cfg := r.Config.withDefaults()
+	cacheBytes := float64(r.CacheHits+r.CacheMisses) * float64(cfg.LineBytes)
+	return Energy{
+		ComputePJ: float64(r.Flops) * m.PJPerMAC,
+		DRAMPJ:    float64(r.Traffic.Total()) * m.PJPerDRAMByte,
+		CachePJ:   cacheBytes * m.PJPerCacheByte,
+	}
+}

@@ -1,0 +1,92 @@
+package accel
+
+import (
+	"testing"
+
+	"bootes/internal/sparse"
+	"bootes/internal/workloads"
+)
+
+func TestEnergyDefaults(t *testing.T) {
+	a := workloads.ScrambledBlock(workloads.Params{
+		Rows: 512, Cols: 512, Density: 0.02, Seed: 1, Groups: 8,
+	})
+	res, err := SimulateRowWise(Config{Name: "e", PEs: 8, CacheBytes: 8 << 10}, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.Energy(EnergyModel{})
+	if e.ComputePJ <= 0 || e.DRAMPJ <= 0 || e.CachePJ <= 0 {
+		t.Fatalf("energy components missing: %+v", e)
+	}
+	if e.TotalPJ() != e.ComputePJ+e.DRAMPJ+e.CachePJ {
+		t.Error("TotalPJ inconsistent")
+	}
+	// The paper's §5.2 point: data movement dominates energy.
+	if e.MemoryShare() < 0.5 {
+		t.Errorf("memory share %.2f, expected movement-dominated", e.MemoryShare())
+	}
+	// Custom coefficients are respected.
+	e2 := res.Energy(EnergyModel{PJPerMAC: 1000, PJPerDRAMByte: 0.0001, PJPerCacheByte: 0.0001})
+	if e2.MemoryShare() > 0.5 {
+		t.Error("custom compute-heavy model ignored")
+	}
+}
+
+func TestEnergyDropsWithTraffic(t *testing.T) {
+	// A reordering that cuts traffic must cut energy under the default
+	// model (compute is ordering-invariant).
+	a := workloads.ScrambledBlock(workloads.Params{
+		Rows: 2048, Cols: 2048, Density: 0.005, Seed: 2, Groups: 16,
+	})
+	cfg := Config{Name: "e", PEs: 8, CacheBytes: 16 << 10}
+	base, err := SimulateRowWise(cfg, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cheating perm: group rows by first column (recovers most locality).
+	perm := sparse.IdentityPerm(a.Rows)
+	firstCol := func(r int32) int32 {
+		row := a.Row(int(r))
+		if len(row) == 0 {
+			return 1 << 30
+		}
+		return row[0]
+	}
+	for i := 1; i < len(perm); i++ {
+		for j := i; j > 0 && firstCol(perm[j]) < firstCol(perm[j-1]); j-- {
+			perm[j], perm[j-1] = perm[j-1], perm[j]
+		}
+	}
+	ap, err := sparse.PermuteRows(a, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	better, err := SimulateRowWise(cfg, ap, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if better.Traffic.Total() >= base.Traffic.Total() {
+		t.Skip("ordering did not help on this instance")
+	}
+	e0 := base.Energy(EnergyModel{})
+	e1 := better.Energy(EnergyModel{})
+	if e1.TotalPJ() >= e0.TotalPJ() {
+		t.Errorf("energy did not drop: %.0f -> %.0f pJ", e0.TotalPJ(), e1.TotalPJ())
+	}
+	if e1.ComputePJ != e0.ComputePJ {
+		t.Error("compute energy should be ordering-invariant")
+	}
+}
+
+func TestEmptyEnergy(t *testing.T) {
+	z := sparse.Zero(2, 2)
+	res, err := SimulateRowWise(Flexagon, z, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.Energy(EnergyModel{})
+	if e.MemoryShare() != 0 && e.TotalPJ() == 0 {
+		t.Error("empty run energy inconsistent")
+	}
+}

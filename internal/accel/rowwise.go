@@ -1,0 +1,247 @@
+package accel
+
+import (
+	"errors"
+	"math"
+
+	"bootes/internal/sparse"
+)
+
+// Traffic is an off-chip byte count broken down by operand, the quantity
+// Figure 4 of the paper plots.
+type Traffic struct {
+	ABytes int64 // reads of input matrix A
+	BBytes int64 // reads of input matrix B
+	CBytes int64 // writes (and psum spills) of output matrix C
+}
+
+// Total returns the summed off-chip traffic.
+func (t Traffic) Total() int64 { return t.ABytes + t.BBytes + t.CBytes }
+
+// Add accumulates o into t.
+func (t *Traffic) Add(o Traffic) {
+	t.ABytes += o.ABytes
+	t.BBytes += o.BBytes
+	t.CBytes += o.CBytes
+}
+
+// Result is the outcome of simulating one SpGEMM on one accelerator.
+type Result struct {
+	Config Config
+	// Traffic is the measured off-chip traffic.
+	Traffic Traffic
+	// Compulsory is the lower-bound traffic with an unbounded cache:
+	// read A and (referenced) B once, write C once.
+	Compulsory Traffic
+	// Flops is the multiply-accumulate count (Gustavson partial products).
+	Flops int64
+	// OutputNNZ is nnz(C).
+	OutputNNZ int64
+	// Cycles is the roofline execution estimate:
+	// max(compute cycles, memory cycles) with full PE utilization.
+	Cycles int64
+	// CacheHits/CacheMisses expose the shared-cache behaviour.
+	CacheHits, CacheMisses int64
+}
+
+// Seconds converts the cycle estimate to seconds at the configured clock.
+func (r *Result) Seconds() float64 {
+	cfg := r.Config.withDefaults()
+	return float64(r.Cycles) / (cfg.ClockGHz * 1e9)
+}
+
+// PEUtilization returns the fraction of cycles the PE array spends computing
+// (1.0 = compute-bound, <1 = memory-bound) — the paper's §5.4 observation
+// that reduced traffic "enables more simultaneous computations" corresponds
+// to utilization rising toward 1.
+func (r *Result) PEUtilization() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	cfg := r.Config.withDefaults()
+	computeCycles := float64(r.Flops) / float64(cfg.PEs)
+	u := computeCycles / float64(r.Cycles)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// NormalizedTraffic returns traffic components divided by total compulsory
+// traffic, the normalization Figure 4 uses.
+func (r *Result) NormalizedTraffic() (a, b, c float64) {
+	total := float64(r.Compulsory.Total())
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return float64(r.Traffic.ABytes) / total, float64(r.Traffic.BBytes) / total, float64(r.Traffic.CBytes) / total
+}
+
+// ErrDim reports incompatible SpGEMM operands.
+var ErrDim = errors.New("accel: dimension mismatch")
+
+// SimulateRowWise runs the row-wise-product (Gustavson) dataflow for C=A·B
+// on the configured accelerator and returns traffic and cycle estimates.
+//
+// The model captures what matters for reordering studies:
+//
+//   - A is streamed in once (compulsory; its layout is sequential).
+//   - Each nonzero A[i,k] triggers a fetch of row k of B through the shared
+//     cache; reuse of B rows across nearby rows of A is what reordering
+//     improves, and cache misses become DRAM traffic.
+//   - PEs process consecutive A rows concurrently (round-robin interleave),
+//     so rows mapped to different PEs contend for the shared cache exactly
+//     as they do in the real designs.
+//   - C rows are written once; output rows whose accumulator exceeds the
+//     per-PE buffer spill partial sums (write + re-read).
+func SimulateRowWise(cfg Config, a, b *sparse.CSR) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if a.Cols != b.Rows {
+		return nil, ErrDim
+	}
+	res := &Result{Config: cfg}
+
+	elem := cfg.ElementBytes
+	// B's row k occupies [bOffset[k], bOffset[k+1]) in the simulated address
+	// space (CSR payload laid out contiguously).
+	bOffsets := make([]int64, b.Rows+1)
+	for k := 0; k <= b.Rows; k++ {
+		bOffsets[k] = b.RowPtr[k] * elem
+	}
+
+	cache := NewCache(cfg.CacheBytes, cfg.LineBytes, cfg.Ways)
+
+	// Compulsory: A once, referenced rows of B once, C once.
+	res.Compulsory.ABytes = a.NNZ()*elem + int64(a.Rows+1)*8
+	bReferenced := make([]bool, b.Rows)
+	for _, k := range a.Col {
+		bReferenced[k] = true
+	}
+	for k, ref := range bReferenced {
+		if ref {
+			res.Compulsory.BBytes += (b.RowPtr[k+1] - b.RowPtr[k]) * elem
+		}
+	}
+
+	// Output row sizes and flops via a symbolic pass.
+	flops, err := sparse.FlopCount(a, b)
+	if err != nil {
+		return nil, err
+	}
+	res.Flops = flops
+	cPattern, err := sparse.SpGEMMPattern(a.Pattern(), b.Pattern())
+	if err != nil {
+		return nil, err
+	}
+	res.OutputNNZ = cPattern.NNZ()
+	res.Compulsory.CBytes = res.OutputNNZ*elem + int64(a.Rows+1)*8
+
+	// A traffic: streamed once.
+	res.Traffic.ABytes = res.Compulsory.ABytes
+
+	// Interleaved execution: PE p owns rows p, p+PEs, p+2·PEs, … Each PE
+	// consumes one A-nonzero per turn, fetching the matching B row through
+	// its private buffer (when configured) and then the shared cache. This
+	// reproduces the inter-row cache contention that the window-size
+	// reasoning in the paper (and GAMMA's W) is about.
+	type peState struct {
+		row     int   // current A row
+		pos     int64 // next A-nonzero position within the row
+		done    bool
+		private *Cache // optional per-PE buffer in front of the shared cache
+	}
+	pes := make([]peState, cfg.PEs)
+	if cfg.PEPrivateCacheBytes > 0 {
+		for i := range pes {
+			pes[i].private = NewCache(cfg.PEPrivateCacheBytes, cfg.LineBytes, 4)
+		}
+	}
+	nextRow := 0
+	assign := func(p *peState) {
+		for {
+			if nextRow >= a.Rows {
+				p.done = true
+				return
+			}
+			r := nextRow
+			nextRow++
+			if a.RowNNZ(r) > 0 {
+				p.row = r
+				p.pos = a.RowPtr[r]
+				return
+			}
+		}
+	}
+	for i := range pes {
+		assign(&pes[i])
+	}
+	active := 0
+	for i := range pes {
+		if !pes[i].done {
+			active++
+		}
+	}
+	var bTraffic int64
+	for active > 0 {
+		for i := range pes {
+			pe := &pes[i]
+			if pe.done {
+				continue
+			}
+			k := int(a.Col[pe.pos])
+			size := bOffsets[k+1] - bOffsets[k]
+			if size > 0 {
+				if pe.private != nil {
+					// Only the lines missing in the private buffer reach the
+					// shared cache; only shared-cache misses reach DRAM.
+					first := bOffsets[k] / cfg.LineBytes
+					last := (bOffsets[k] + size - 1) / cfg.LineBytes
+					for line := first; line <= last; line++ {
+						if pe.private.AccessLine(line * cfg.LineBytes) {
+							if cache.AccessLine(line * cfg.LineBytes) {
+								bTraffic += cfg.LineBytes
+							}
+						}
+					}
+				} else {
+					bTraffic += cache.AccessRange(bOffsets[k], size)
+				}
+			}
+			pe.pos++
+			if pe.pos >= a.RowPtr[pe.row+1] {
+				assign(pe)
+				if pe.done {
+					active--
+				}
+			}
+		}
+	}
+	res.Traffic.BBytes = bTraffic
+
+	// C traffic: each output row written once; rows exceeding the PE buffer
+	// spill partial sums (one extra write+read round per overflow multiple).
+	var cBytes int64
+	for i := 0; i < cPattern.Rows; i++ {
+		rowBytes := int64(cPattern.RowNNZ(i)) * elem
+		cBytes += rowBytes
+		if rowBytes > cfg.PERowBufferBytes {
+			spill := rowBytes - cfg.PERowBufferBytes
+			cBytes += 2 * spill // write out + read back for final merge
+		}
+	}
+	cBytes += int64(a.Rows+1) * 8
+	res.Traffic.CBytes = cBytes
+
+	res.CacheHits = cache.Hits
+	res.CacheMisses = cache.Misses
+
+	// Roofline cycles: PEs retire one MAC per cycle; DRAM moves
+	// HBMBytesPerCycle per cycle; the slower side dominates.
+	computeCycles := int64(math.Ceil(float64(flops) / float64(cfg.PEs)))
+	memCycles := int64(math.Ceil(float64(res.Traffic.Total()) / float64(cfg.HBMBytesPerCycle)))
+	res.Cycles = computeCycles
+	if memCycles > res.Cycles {
+		res.Cycles = memCycles
+	}
+	return res, nil
+}

@@ -1,0 +1,267 @@
+// Package chart renders minimal, dependency-free SVG charts for the
+// experiment reports: grouped bar charts (Figures 4 and 6, Table 4) and
+// log-log scatter plots (Figure 5, Table 2). The goal is readable artifacts
+// in any browser, not a plotting library; everything is sized in one pass
+// with fixed typography.
+package chart
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// palette holds fill colors for series, cycled as needed.
+var palette = []string{
+	"#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4",
+	"#8c613c", "#dc7ec0", "#797979", "#d5bb67", "#82c6e2",
+}
+
+// GroupedBars describes a grouped bar chart: for each group (x position)
+// one bar per series.
+type GroupedBars struct {
+	Title  string
+	YLabel string
+	Groups []string    // x-axis group labels
+	Series []BarSeries // one entry per legend item
+	// YRef draws a horizontal reference line (e.g. 1.0 for ratios); 0 = none.
+	YRef float64
+}
+
+// BarSeries is one legend entry with a value per group (NaN = missing).
+type BarSeries struct {
+	Name   string
+	Values []float64
+}
+
+// WriteSVG renders the chart.
+func (c GroupedBars) WriteSVG(w io.Writer) error {
+	const (
+		width   = 900
+		height  = 420
+		left    = 70
+		right   = 30
+		top     = 50
+		bottom  = 80
+		fontCSS = `font-family="Helvetica,Arial,sans-serif"`
+	)
+	plotW := float64(width - left - right)
+	plotH := float64(height - top - bottom)
+
+	maxV := 0.0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if !math.IsNaN(v) && v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if c.YRef > maxV {
+		maxV = c.YRef
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	maxV *= 1.08
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16" %s>%s</text>`+"\n", left, fontCSS, escape(c.Title))
+
+	// Y axis with 5 ticks.
+	for t := 0; t <= 5; t++ {
+		v := maxV * float64(t) / 5
+		y := float64(top) + plotH - plotH*float64(t)/5
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", left, y, width-right, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end" %s>%.2g</text>`+"\n", left-6, y+4, fontCSS, v)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%d" font-size="12" transform="rotate(-90 16 %d)" text-anchor="middle" %s>%s</text>`+"\n",
+			top+int(plotH)/2, top+int(plotH)/2, fontCSS, escape(c.YLabel))
+	}
+	if c.YRef > 0 {
+		y := float64(top) + plotH - plotH*c.YRef/maxV
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#999" stroke-dasharray="4 3"/>`+"\n", left, y, width-right, y)
+	}
+
+	nGroups := len(c.Groups)
+	nSeries := len(c.Series)
+	if nGroups > 0 && nSeries > 0 {
+		groupW := plotW / float64(nGroups)
+		barW := groupW * 0.8 / float64(nSeries)
+		for gi, g := range c.Groups {
+			gx := float64(left) + groupW*float64(gi)
+			for si, s := range c.Series {
+				if gi >= len(s.Values) {
+					continue
+				}
+				v := s.Values[gi]
+				if math.IsNaN(v) || v < 0 {
+					continue
+				}
+				h := plotH * v / maxV
+				x := gx + groupW*0.1 + barW*float64(si)
+				y := float64(top) + plotH - h
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s / %s: %.3g</title></rect>`+"\n",
+					x, y, barW, h, palette[si%len(palette)], escape(g), escape(s.Name), v)
+			}
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle" %s>%s</text>`+"\n",
+				gx+groupW/2, top+int(plotH)+16, fontCSS, escape(g))
+		}
+	}
+
+	// Legend.
+	lx := left
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n", lx, height-28, palette[si%len(palette)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" %s>%s</text>`+"\n", lx+16, height-18, fontCSS, escape(s.Name))
+		lx += 16 + 8*len(s.Name) + 24
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Scatter describes a log-log (or linear) scatter/line plot.
+type Scatter struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Series []ScatterSeries
+}
+
+// ScatterSeries is one plotted series; points are drawn in order and
+// connected.
+type ScatterSeries struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// WriteSVG renders the plot.
+func (c Scatter) WriteSVG(w io.Writer) error {
+	const (
+		width   = 900
+		height  = 420
+		left    = 80
+		right   = 30
+		top     = 50
+		bottom  = 70
+		fontCSS = `font-family="Helvetica,Arial,sans-serif"`
+	)
+	plotW := float64(width - left - right)
+	plotH := float64(height - top - bottom)
+
+	tx := func(v float64) float64 {
+		if c.LogX {
+			return math.Log10(v)
+		}
+		return v
+	}
+	ty := func(v float64) float64 {
+		if c.LogY {
+			return math.Log10(v)
+		}
+		return v
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			if s.X[i] <= 0 && c.LogX || s.Y[i] <= 0 && c.LogY {
+				continue
+			}
+			minX = math.Min(minX, tx(s.X[i]))
+			maxX = math.Max(maxX, tx(s.X[i]))
+			minY = math.Min(minY, ty(s.Y[i]))
+			maxY = math.Max(maxY, ty(s.Y[i]))
+		}
+	}
+	if math.IsInf(minX, 1) {
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	padY := (maxY - minY) * 0.05
+	minY -= padY
+	maxY += padY
+
+	px := func(v float64) float64 { return float64(left) + plotW*(tx(v)-minX)/(maxX-minX) }
+	py := func(v float64) float64 { return float64(top) + plotH - plotH*(ty(v)-minY)/(maxY-minY) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16" %s>%s</text>`+"\n", left, fontCSS, escape(c.Title))
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#bbb"/>`+"\n", left, top, plotW, plotH)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="middle" %s>%s</text>`+"\n",
+		left+int(plotW)/2, height-24, fontCSS, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="20" y="%d" font-size="12" transform="rotate(-90 20 %d)" text-anchor="middle" %s>%s</text>`+"\n",
+		top+int(plotH)/2, top+int(plotH)/2, fontCSS, escape(c.YLabel))
+
+	// Axis ticks (4 each).
+	for t := 0; t <= 4; t++ {
+		xv := minX + (maxX-minX)*float64(t)/4
+		yv := minY + (maxY-minY)*float64(t)/4
+		xl, yl := xv, yv
+		if c.LogX {
+			xl = math.Pow(10, xv)
+		}
+		if c.LogY {
+			yl = math.Pow(10, yv)
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle" %s>%.3g</text>`+"\n",
+			float64(left)+plotW*float64(t)/4, top+int(plotH)+14, fontCSS, xl)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end" %s>%.3g</text>`+"\n",
+			left-6, float64(top)+plotH-plotH*float64(t)/4+4, fontCSS, yl)
+	}
+
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var path strings.Builder
+		started := false
+		for i := range s.X {
+			if (c.LogX && s.X[i] <= 0) || (c.LogY && s.Y[i] <= 0) {
+				continue
+			}
+			cmd := "L"
+			if !started {
+				cmd = "M"
+				started = true
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, px(s.X[i]), py(s.Y[i]))
+		}
+		if started {
+			fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n", path.String(), color)
+		}
+		for i := range s.X {
+			if (c.LogX && s.X[i] <= 0) || (c.LogY && s.Y[i] <= 0) {
+				continue
+			}
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s"><title>%s: (%.4g, %.4g)</title></circle>`+"\n",
+				px(s.X[i]), py(s.Y[i]), color, escape(s.Name), s.X[i], s.Y[i])
+		}
+	}
+	lx := left
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n", lx, height-16, palette[si%len(palette)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" %s>%s</text>`+"\n", lx+16, height-6, fontCSS, escape(s.Name))
+		lx += 16 + 8*len(s.Name) + 24
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,97 @@
+package chart
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGroupedBarsSVG(t *testing.T) {
+	c := GroupedBars{
+		Title:  "Traffic <reduction> & \"ratios\"",
+		YLabel: "normalized traffic",
+		Groups: []string{"IN", "MI"},
+		Series: []BarSeries{
+			{Name: "Bootes", Values: []float64{1.2, 1.1}},
+			{Name: "Gamma", Values: []float64{1.8, math.NaN()}},
+		},
+		YRef: 1.0,
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	// 3 visible bars (NaN skipped) plus background rect and legend swatches.
+	if got := strings.Count(out, "<rect"); got < 6 {
+		t.Errorf("too few rects: %d", got)
+	}
+	if strings.Count(out, "<rect") > 3+1+2+12 {
+		t.Errorf("unexpectedly many rects: %d", strings.Count(out, "<rect"))
+	}
+	// Title special characters must be escaped.
+	if strings.Contains(out, "<reduction>") {
+		t.Error("unescaped angle brackets in output")
+	}
+	if !strings.Contains(out, "&lt;reduction&gt;") {
+		t.Error("escaped title missing")
+	}
+	// Reference line is dashed.
+	if !strings.Contains(out, "stroke-dasharray") {
+		t.Error("missing YRef line")
+	}
+	// Group labels and legend names present.
+	for _, want := range []string{"IN", "MI", "Bootes", "Gamma"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestGroupedBarsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (GroupedBars{Title: "empty"}).WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "</svg>") {
+		t.Error("empty chart did not render")
+	}
+}
+
+func TestScatterSVGLogLog(t *testing.T) {
+	c := Scatter{
+		Title: "Scaling", XLabel: "rows", YLabel: "seconds",
+		LogX: true, LogY: true,
+		Series: []ScatterSeries{
+			{Name: "Bootes", X: []float64{1e3, 1e4, 1e5}, Y: []float64{0.01, 0.1, 1}},
+			{Name: "Gamma", X: []float64{1e3, 1e4, 1e5}, Y: []float64{0.01, 1, 100}},
+			{Name: "withZero", X: []float64{0, 1e4}, Y: []float64{1, 1}}, // zero skipped on log axis
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "<circle") != 3+3+1 {
+		t.Errorf("point count wrong: %d", strings.Count(out, "<circle"))
+	}
+	if strings.Count(out, "<path") != 3 {
+		t.Errorf("path count wrong: %d", strings.Count(out, "<path"))
+	}
+}
+
+func TestScatterEmptySeries(t *testing.T) {
+	var buf bytes.Buffer
+	err := (Scatter{Title: "x", Series: []ScatterSeries{{Name: "none"}}}).WriteSVG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "</svg>") {
+		t.Error("did not render")
+	}
+}

@@ -1,0 +1,227 @@
+// Package cluster implements k-means (k-means++ seeding plus Lloyd
+// iteration) on spectral embeddings, and the conversion of a cluster
+// assignment into the row permutation Bootes feeds to the accelerator.
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// KMeansOptions configures the Lloyd iteration.
+type KMeansOptions struct {
+	K        int
+	MaxIters int   // 0 selects 100
+	Seed     int64 // seeding determinism
+	// Restarts runs k-means++ + Lloyd this many times and keeps the lowest
+	// inertia solution. 0 selects 3.
+	Restarts int
+	// Tol stops iteration when the relative inertia improvement drops below
+	// it. 0 selects 1e-6.
+	Tol float64
+}
+
+func (o KMeansOptions) withDefaults() KMeansOptions {
+	if o.MaxIters == 0 {
+		o.MaxIters = 100
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 3
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-6
+	}
+	return o
+}
+
+// KMeansResult holds a clustering of n points into K clusters.
+type KMeansResult struct {
+	// Assign[i] is the cluster id of point i, in [0, K).
+	Assign []int32
+	// Centers is the K×dim row-major centroid matrix.
+	Centers []float64
+	Dim     int
+	// Inertia is the summed squared distance of points to their centroids.
+	Inertia float64
+	// Iters is the number of Lloyd iterations of the winning restart.
+	Iters int
+}
+
+// ErrBadInput reports invalid k-means input.
+var ErrBadInput = errors.New("cluster: invalid k-means input")
+
+// KMeans clusters n points of dimension dim, given row-major points
+// (len n*dim), into opts.K clusters.
+func KMeans(points []float64, n, dim int, opts KMeansOptions) (*KMeansResult, error) {
+	if n <= 0 || dim <= 0 || len(points) != n*dim {
+		return nil, ErrBadInput
+	}
+	opts = opts.withDefaults()
+	if opts.K <= 0 || opts.K > n {
+		return nil, ErrBadInput
+	}
+	var best *KMeansResult
+	for r := 0; r < opts.Restarts; r++ {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(r)*0x9e3779b9))
+		res := lloyd(points, n, dim, opts, rng)
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func lloyd(points []float64, n, dim int, opts KMeansOptions, rng *rand.Rand) *KMeansResult {
+	k := opts.K
+	centers := seedPlusPlus(points, n, dim, k, rng)
+	assign := make([]int32, n)
+	counts := make([]int64, k)
+	prevInertia := math.Inf(1)
+	iters := 0
+	for ; iters < opts.MaxIters; iters++ {
+		// Assignment step.
+		inertia := 0.0
+		for i := 0; i < n; i++ {
+			p := points[i*dim : (i+1)*dim]
+			bestC, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				d := sqDist(p, centers[c*dim:(c+1)*dim])
+				if d < bestD {
+					bestD, bestC = d, c
+				}
+			}
+			assign[i] = int32(bestC)
+			inertia += bestD
+		}
+		// Update step.
+		for i := range centers {
+			centers[i] = 0
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := int(assign[i])
+			counts[c]++
+			p := points[i*dim : (i+1)*dim]
+			cc := centers[c*dim : (c+1)*dim]
+			for d := 0; d < dim; d++ {
+				cc[d] += p[d]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Empty cluster: reseed at the point farthest from its
+				// centroid (standard k-means empty-cluster repair).
+				far, farD := 0, -1.0
+				for i := 0; i < n; i++ {
+					p := points[i*dim : (i+1)*dim]
+					a := int(assign[i])
+					d := sqDist(p, centers[a*dim:(a+1)*dim])
+					if d > farD {
+						farD, far = d, i
+					}
+				}
+				copy(centers[c*dim:(c+1)*dim], points[far*dim:(far+1)*dim])
+				continue
+			}
+			cc := centers[c*dim : (c+1)*dim]
+			inv := 1 / float64(counts[c])
+			for d := 0; d < dim; d++ {
+				cc[d] *= inv
+			}
+		}
+		if prevInertia-inertia <= opts.Tol*math.Max(prevInertia, 1e-300) {
+			prevInertia = inertia
+			iters++
+			break
+		}
+		prevInertia = inertia
+	}
+	// Final assignment against the last centers for a consistent result.
+	inertia := 0.0
+	for i := 0; i < n; i++ {
+		p := points[i*dim : (i+1)*dim]
+		bestC, bestD := 0, math.Inf(1)
+		for c := 0; c < k; c++ {
+			d := sqDist(p, centers[c*dim:(c+1)*dim])
+			if d < bestD {
+				bestD, bestC = d, c
+			}
+		}
+		assign[i] = int32(bestC)
+		inertia += bestD
+	}
+	return &KMeansResult{Assign: assign, Centers: centers, Dim: dim, Inertia: inertia, Iters: iters}
+}
+
+// seedPlusPlus implements k-means++ seeding (Arthur & Vassilvitskii).
+func seedPlusPlus(points []float64, n, dim, k int, rng *rand.Rand) []float64 {
+	centers := make([]float64, k*dim)
+	first := rng.Intn(n)
+	copy(centers[:dim], points[first*dim:(first+1)*dim])
+	dist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dist[i] = sqDist(points[i*dim:(i+1)*dim], centers[:dim])
+	}
+	for c := 1; c < k; c++ {
+		total := 0.0
+		for _, d := range dist {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, d := range dist {
+				acc += d
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(centers[c*dim:(c+1)*dim], points[pick*dim:(pick+1)*dim])
+		for i := 0; i < n; i++ {
+			d := sqDist(points[i*dim:(i+1)*dim], centers[c*dim:(c+1)*dim])
+			if d < dist[i] {
+				dist[i] = d
+			}
+		}
+	}
+	return centers
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// ClusterSizes returns the number of points per cluster.
+func ClusterSizes(assign []int32, k int) []int {
+	sizes := make([]int, k)
+	for _, c := range assign {
+		sizes[c]++
+	}
+	return sizes
+}
+
+// SortClustersBy returns cluster ids ordered by ascending key (e.g. the mean
+// Fiedler-vector value per cluster), used to lay clusters out coherently.
+func SortClustersBy(k int, key func(c int) float64) []int {
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return key(order[a]) < key(order[b]) })
+	return order
+}

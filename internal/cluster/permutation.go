@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"sort"
+
+	"bootes/internal/sparse"
+)
+
+// PermutationOrder controls how clusters and rows within clusters are laid
+// out when an assignment is turned into a row permutation.
+type PermutationOrder int
+
+const (
+	// OrderFiedler sorts clusters by their mean value in the Fiedler
+	// (second) eigenvector and rows within a cluster by their own Fiedler
+	// value, giving a globally coherent 1-D layout. This is Bootes' default.
+	OrderFiedler PermutationOrder = iota
+	// OrderClusterID keeps clusters in id order and rows in original order
+	// within each cluster — the ablation baseline.
+	OrderClusterID
+)
+
+// PermutationFromAssignment converts a cluster assignment into a row
+// permutation (perm[newRow] = oldRow). embedding is the row-major n×dim
+// spectral embedding; when order is OrderFiedler and dim ≥ 2, column 1 (the
+// Fiedler direction) drives both the cluster layout and the within-cluster
+// order. With dim < 2 or OrderClusterID, clusters appear in id order and
+// rows in original order.
+func PermutationFromAssignment(assign []int32, k int, embedding []float64, dim int, order PermutationOrder) sparse.Permutation {
+	n := len(assign)
+	groups := make([][]int32, k)
+	for i, c := range assign {
+		groups[c] = append(groups[c], int32(i))
+	}
+
+	useFiedler := order == OrderFiedler && dim >= 2 && len(embedding) == n*dim
+	fiedler := func(row int32) float64 { return embedding[int(row)*dim+1] }
+
+	clusterOrder := make([]int, k)
+	for i := range clusterOrder {
+		clusterOrder[i] = i
+	}
+	if useFiedler {
+		mean := make([]float64, k)
+		for c, g := range groups {
+			if len(g) == 0 {
+				continue
+			}
+			s := 0.0
+			for _, r := range g {
+				s += fiedler(r)
+			}
+			mean[c] = s / float64(len(g))
+		}
+		sort.SliceStable(clusterOrder, func(a, b int) bool {
+			return mean[clusterOrder[a]] < mean[clusterOrder[b]]
+		})
+		// Within a cluster, order rows lexicographically over *quantized*
+		// embedding coordinates (starting from the Fiedler direction):
+		// rows with near-identical spectral coordinates — i.e. the same
+		// fine-grained structure — fall into the same buckets and end up
+		// adjacent even when the cluster count is below the number of
+		// natural groups. Quantization keeps the comparison a strict weak
+		// order (a raw float lexicographic sort would split equal groups
+		// on coordinate noise).
+		quant := make([]int32, n*dim)
+		for d := 1; d < dim; d++ {
+			lo, hi := embedding[d], embedding[d]
+			for i := 1; i < n; i++ {
+				v := embedding[i*dim+d]
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			step := 0.02 * (hi - lo)
+			if step <= 0 {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				quant[i*dim+d] = int32((embedding[i*dim+d] - lo) / step)
+			}
+		}
+		less := func(a, b int32) bool {
+			qa := quant[int(a)*dim : int(a+1)*dim]
+			qb := quant[int(b)*dim : int(b+1)*dim]
+			for d := 1; d < dim; d++ {
+				if qa[d] != qb[d] {
+					return qa[d] < qb[d]
+				}
+			}
+			return a < b
+		}
+		for _, g := range groups {
+			g := g
+			sort.SliceStable(g, func(a, b int) bool { return less(g[a], g[b]) })
+		}
+	}
+
+	perm := make(sparse.Permutation, 0, n)
+	for _, c := range clusterOrder {
+		perm = append(perm, groups[c]...)
+	}
+	return perm
+}

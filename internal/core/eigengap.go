@@ -1,0 +1,72 @@
+package core
+
+import (
+	"errors"
+
+	"bootes/internal/eigen"
+	"bootes/internal/sparse"
+)
+
+// SelectKByEigengap chooses a cluster count with the classic eigengap
+// heuristic (von Luxburg): compute the spectrum of the normalized similarity
+// down to the largest candidate k and pick the candidate k with the largest
+// relative gap λ_k/λ_{k+1}. A pronounced gap after k eigenvalues indicates k
+// well-separated row groups.
+//
+// This is the training-free alternative to the paper's decision tree: it
+// needs one eigensolve (which the subsequent reordering reuses conceptually)
+// but sees only the spectrum, not the realized traffic, so it cannot learn
+// hardware-specific trade-offs. The ablation bench compares both.
+func SelectKByEigengap(a *sparse.CSR, opts SpectralOptions) (int, []float64, error) {
+	n := a.Rows
+	if n < 4 {
+		return 0, nil, errors.New("core: matrix too small for eigengap selection")
+	}
+	kmax := CandidateKs[len(CandidateKs)-1]
+	if kmax+1 > n {
+		kmax = n - 1
+	}
+
+	hub := opts.HubThreshold
+	if hub == 0 {
+		hub = sparse.HubDegreeThreshold(a)
+	} else if hub < 0 {
+		hub = 0
+	}
+	var op eigen.Operator
+	if opts.ImplicitSimilarity {
+		op = eigen.NewImplicitSimilarityCapped(a, hub)
+	} else {
+		op = eigen.NewNormalizedSimilarity(sparse.SimilarityCapped(a, hub))
+	}
+	eo := opts.Eigen
+	eo.K = kmax + 1 // need λ_{k+1} for the largest candidate
+	if eo.Seed == 0 {
+		eo.Seed = opts.Seed
+	}
+	if eo.Tol == 0 {
+		eo.Tol = 1e-5
+	}
+	if eo.MaxRestarts == 0 {
+		eo.MaxRestarts = 12
+	}
+	res, err := eigen.Largest(op, eo)
+	if err != nil {
+		return 0, nil, err
+	}
+
+	bestK, bestGap := CandidateKs[0], -1.0
+	for _, k := range CandidateKs {
+		if k+1 > len(res.Values) {
+			break
+		}
+		lo, hi := res.Values[k], res.Values[k-1]
+		// Relative gap between the k-th and (k+1)-th eigenvalues of M
+		// (equivalently between Laplacian eigenvalues λ_k and λ_{k+1}).
+		gap := hi - lo
+		if gap > bestGap {
+			bestGap, bestK = gap, k
+		}
+	}
+	return bestK, res.Values, nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"bootes/internal/cluster"
+	"bootes/internal/eigen"
+	"bootes/internal/sparse"
+)
+
+// SweepEntry is the result of one cluster count in a spectral sweep.
+type SweepEntry struct {
+	K              int
+	Perm           sparse.Permutation
+	Inertia        float64
+	PreprocessTime time.Duration // embedding share + this k's k-means
+}
+
+// SpectralSweep evaluates several cluster counts with a single eigensolve:
+// the embedding is computed once for max(ks) eigenvectors and each k reuses
+// its leading k columns (eigenvectors are ordered by eigenvalue, so the
+// prefix is exactly the k-dimensional spectral embedding). This is how the
+// decision-tree labeller and the Figure 3 sweep keep 5 k-values affordable.
+func SpectralSweep(a *sparse.CSR, ks []int, opts SpectralOptions) ([]SweepEntry, error) {
+	if len(ks) == 0 {
+		return nil, errors.New("core: empty k list")
+	}
+	n := a.Rows
+	kmax := 0
+	for _, k := range ks {
+		if k < 2 {
+			return nil, ErrBadK
+		}
+		if k > kmax {
+			kmax = k
+		}
+	}
+	if kmax > n {
+		kmax = n
+	}
+
+	embedStart := time.Now()
+	hub := opts.HubThreshold
+	if hub == 0 {
+		hub = sparse.HubDegreeThreshold(a)
+	} else if hub < 0 {
+		hub = 0
+	}
+	var op eigen.Operator
+	if opts.ImplicitSimilarity {
+		op = eigen.NewImplicitSimilarityCapped(a, hub)
+	} else {
+		op = eigen.NewNormalizedSimilarity(sparse.SimilarityCapped(a, hub))
+	}
+	eo := opts.Eigen
+	eo.K = kmax
+	if eo.Seed == 0 {
+		eo.Seed = opts.Seed
+	}
+	res, err := eigen.Largest(op, eo)
+	if err != nil {
+		return nil, err
+	}
+	embedTime := time.Since(embedStart)
+
+	// Row-major full embedding (n × kmax). Each k-prefix is re-normalized
+	// below, so the full embedding is kept raw here.
+	full := make([]float64, n*kmax)
+	for j, vec := range res.Vectors {
+		for i := 0; i < n; i++ {
+			full[i*kmax+j] = vec[i]
+		}
+	}
+
+	entries := make([]SweepEntry, 0, len(ks))
+	for _, k := range ks {
+		kk := k
+		if kk > n {
+			kk = n
+		}
+		kmStart := time.Now()
+		sub := make([]float64, n*kk)
+		for i := 0; i < n; i++ {
+			copy(sub[i*kk:(i+1)*kk], full[i*kmax:i*kmax+kk])
+		}
+		normalizeRows(sub, n, kk)
+		ko := opts.KMeans
+		ko.K = kk
+		if ko.Seed == 0 {
+			ko.Seed = opts.Seed + int64(kk)
+		}
+		km, err := cluster.KMeans(sub, n, kk, ko)
+		if err != nil {
+			return nil, err
+		}
+		perm := cluster.PermutationFromAssignment(km.Assign, kk, sub, kk, opts.Order)
+		entries = append(entries, SweepEntry{
+			K:              k,
+			Perm:           perm,
+			Inertia:        km.Inertia,
+			PreprocessTime: embedTime/time.Duration(len(ks)) + time.Since(kmStart),
+		})
+	}
+	return entries, nil
+}
+
+// normalizeRows applies Ng–Jordan–Weiss row normalization in place.
+func normalizeRows(embedding []float64, n, dim int) {
+	for i := 0; i < n; i++ {
+		row := embedding[i*dim : (i+1)*dim]
+		s := 0.0
+		for _, v := range row {
+			s += v * v
+		}
+		if s > 0 {
+			inv := 1 / sqrtf(s)
+			for d := range row {
+				row[d] *= inv
+			}
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package dtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// axisData generates samples whose label is determined by simple axis
+// thresholds — exactly representable by a small tree.
+func axisData(rng *rand.Rand, n int) []Sample {
+	samples := make([]Sample, n)
+	for i := range samples {
+		x := rng.Float64()
+		y := rng.Float64()
+		label := 0
+		switch {
+		case x > 0.5 && y > 0.5:
+			label = 1
+		case x > 0.5:
+			label = 2
+		}
+		samples[i] = Sample{Features: []float64{x, y}, Label: label}
+	}
+	return samples
+}
+
+func TestTrainPerfectlySeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := axisData(rng, 400)
+	test := axisData(rng, 200)
+	tree, err := Train(train, 3, Options{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := tree.Accuracy(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Errorf("accuracy %v, want ≥ 0.95", acc)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, 2, Options{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+	bad := []Sample{{Features: []float64{1}, Label: 5}}
+	if _, err := Train(bad, 2, Options{}); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	ragged := []Sample{
+		{Features: []float64{1, 2}, Label: 0},
+		{Features: []float64{1}, Label: 1},
+	}
+	if _, err := Train(ragged, 2, Options{}); err == nil {
+		t.Error("ragged features accepted")
+	}
+}
+
+func TestPredictBeforeTrain(t *testing.T) {
+	var tr Tree
+	if _, err := tr.Predict([]float64{1}); err == nil {
+		t.Error("untrained predict accepted")
+	}
+	if _, err := tr.PredictProba([]float64{1}); err == nil {
+		t.Error("untrained proba accepted")
+	}
+}
+
+func TestClassBalancing(t *testing.T) {
+	// 95% of samples are class 0; class 1 occupies x > 0.9. Without
+	// balancing a depth-1 tree may ignore the minority; with balancing the
+	// minority region must be classified correctly.
+	rng := rand.New(rand.NewSource(2))
+	var samples []Sample
+	for i := 0; i < 950; i++ {
+		samples = append(samples, Sample{Features: []float64{rng.Float64() * 0.9}, Label: 0})
+	}
+	for i := 0; i < 50; i++ {
+		samples = append(samples, Sample{Features: []float64{0.9 + rng.Float64()*0.1}, Label: 1})
+	}
+	tree, err := Train(samples, 2, Options{MaxDepth: 4, BalanceClasses: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tree.Predict([]float64{0.95})
+	if err != nil || c != 1 {
+		t.Errorf("balanced tree predicted %d for minority region", c)
+	}
+	c, _ = tree.Predict([]float64{0.2})
+	if c != 0 {
+		t.Errorf("balanced tree predicted %d for majority region", c)
+	}
+}
+
+func TestWeightsRespected(t *testing.T) {
+	// Two overlapping points with different labels: the heavier one wins.
+	samples := []Sample{
+		{Features: []float64{1}, Label: 0, Weight: 1},
+		{Features: []float64{1}, Label: 1, Weight: 10},
+	}
+	tree, err := Train(samples, 2, Options{MaxDepth: 2, MinLeaf: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := tree.Predict([]float64{1})
+	if c != 1 {
+		t.Errorf("predicted %d, want heavier class 1", c)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	train := axisData(rng, 300)
+	tree, err := Train(train, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := tree.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		a, _ := tree.Predict(x)
+		b, _ := back.Predict(x)
+		if a != b {
+			t.Fatal("decoded tree disagrees with original")
+		}
+	}
+	if _, err := Decode([]byte("{}")); err == nil {
+		t.Error("rootless decode accepted")
+	}
+	if _, err := Decode([]byte("not json")); err == nil {
+		t.Error("bad json accepted")
+	}
+}
+
+func TestModelSizeIsSmall(t *testing.T) {
+	// The paper highlights an ~11 KB model; ours must stay in that regime.
+	rng := rand.New(rand.NewSource(4))
+	train := axisData(rng, 1000)
+	tree, err := Train(train, 3, Options{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size := tree.ModeledBytes(); size > 64<<10 {
+		t.Errorf("model size %d bytes, want well under 64 KB", size)
+	}
+}
+
+func TestPredictProbaSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	train := axisData(rng, 300)
+	tree, err := Train(train, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tree.PredictProba([]float64{0.3, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 {
+			t.Error("negative probability")
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	// Label depends only on feature 0; importance must concentrate there.
+	rng := rand.New(rand.NewSource(6))
+	var samples []Sample
+	for i := 0; i < 500; i++ {
+		x := rng.Float64()
+		noise := rng.Float64()
+		label := 0
+		if x > 0.5 {
+			label = 1
+		}
+		samples = append(samples, Sample{Features: []float64{x, noise}, Label: label})
+	}
+	tree, err := Train(samples, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := tree.FeatureImportance(2)
+	if imp[0] <= imp[1] {
+		t.Errorf("importance = %v, feature 0 should dominate", imp)
+	}
+}
+
+func TestDepthAndNodeCountTracked(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tree, err := Train(axisData(rng, 200), 3, Options{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth > 3 {
+		t.Errorf("depth %d exceeds MaxDepth", tree.Depth)
+	}
+	if tree.NodeCount < 3 {
+		t.Errorf("node count %d suspiciously small", tree.NodeCount)
+	}
+}
+
+func TestSingleClassIsLeaf(t *testing.T) {
+	samples := []Sample{
+		{Features: []float64{1}, Label: 0},
+		{Features: []float64{2}, Label: 0},
+		{Features: []float64{3}, Label: 0},
+		{Features: []float64{4}, Label: 0},
+		{Features: []float64{5}, Label: 0},
+		{Features: []float64{6}, Label: 0},
+		{Features: []float64{7}, Label: 0},
+	}
+	tree, err := Train(samples, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root.Feature != -1 {
+		t.Error("pure node was split")
+	}
+	c, _ := tree.Predict([]float64{100})
+	if c != 0 {
+		t.Error("wrong prediction for pure tree")
+	}
+}

@@ -1,0 +1,153 @@
+// Package eigen provides the sparse symmetric eigensolver Bootes' spectral
+// clustering needs: a Lanczos iteration with full reorthogonalization over a
+// linear operator, a symmetric tridiagonal QL solver for the projected
+// problem, and a dense Jacobi solver used as a reference in tests.
+//
+// Spectral clustering needs the eigenvectors of the normalized Laplacian
+// L = I − D^{-1/2} S D^{-1/2} associated with the k smallest eigenvalues.
+// Equivalently these are the eigenvectors of the normalized similarity
+// M = D^{-1/2} S D^{-1/2} with the k largest eigenvalues, which is the
+// well-conditioned form Lanczos converges to fastest; the package works with
+// M and reports Laplacian eigenvalues as 1−θ.
+package eigen
+
+import (
+	"bootes/internal/sparse"
+)
+
+// Operator is a symmetric linear operator on ℝⁿ.
+type Operator interface {
+	// Dim returns n.
+	Dim() int
+	// Apply computes y = Op·x. x and y have length Dim and do not alias.
+	Apply(x, y []float64)
+}
+
+// CSROp adapts a symmetric sparse matrix to Operator. The matrix is not
+// checked for symmetry; Lanczos assumes it.
+type CSROp struct{ M *sparse.CSR }
+
+// Dim returns the matrix order.
+func (o CSROp) Dim() int { return o.M.Rows }
+
+// Apply computes y = M·x.
+func (o CSROp) Apply(x, y []float64) {
+	if err := sparse.SpMV(o.M, x, y); err != nil {
+		panic("eigen: CSROp dimension mismatch: " + err.Error())
+	}
+}
+
+// NormalizedSimilarity is the operator M = D^{-1/2}·S·D^{-1/2} for an
+// explicit similarity matrix S (paper Algorithm 4 keeps S in CSR form).
+type NormalizedSimilarity struct {
+	S       *sparse.CSR
+	InvSqrt []float64 // 1/sqrt(degree); 0 for isolated rows
+	tmp     []float64
+}
+
+// NewNormalizedSimilarity builds the normalized operator from an explicit
+// similarity matrix. Isolated rows (zero degree) get InvSqrt 0, which leaves
+// them as fixed points of the operator — the standard convention.
+func NewNormalizedSimilarity(s *sparse.CSR) *NormalizedSimilarity {
+	n := s.Rows
+	inv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		vals := s.RowVals(i)
+		if vals == nil {
+			sum = float64(s.RowNNZ(i))
+		} else {
+			for _, v := range vals {
+				sum += v
+			}
+		}
+		if sum > 0 {
+			inv[i] = 1 / sqrt(sum)
+		}
+	}
+	return &NormalizedSimilarity{S: s, InvSqrt: inv, tmp: make([]float64, n)}
+}
+
+// Dim returns the operator dimension.
+func (o *NormalizedSimilarity) Dim() int { return o.S.Rows }
+
+// Apply computes y = D^{-1/2} S D^{-1/2} x.
+func (o *NormalizedSimilarity) Apply(x, y []float64) {
+	for i := range x {
+		o.tmp[i] = x[i] * o.InvSqrt[i]
+	}
+	if err := sparse.SpMV(o.S, o.tmp, y); err != nil {
+		panic("eigen: NormalizedSimilarity dimension mismatch: " + err.Error())
+	}
+	for i := range y {
+		y[i] *= o.InvSqrt[i]
+	}
+}
+
+// ImplicitSimilarity applies M = D^{-1/2}·(Ā·Āᵀ)·D^{-1/2} without forming
+// S = Ā·Āᵀ explicitly, using two pattern SpMVs (y = Ā(Āᵀ·x)). This is the
+// memory-footprint ablation Bootes' design motivates: S can be far denser
+// than A, so skipping it trades one extra matvec per Lanczos step for a
+// large reduction in peak memory.
+type ImplicitSimilarity struct {
+	A, At   *sparse.CSR
+	InvSqrt []float64
+	tmpN    []float64 // length A.Rows
+	tmpK    []float64 // length A.Cols
+}
+
+// NewImplicitSimilarity builds the implicit operator from the pattern of A.
+// Degrees are computed without forming S: deg(i) = Σ_{c∈row i} colCount(c).
+func NewImplicitSimilarity(a *sparse.CSR) *ImplicitSimilarity {
+	return NewImplicitSimilarityCapped(a, 0)
+}
+
+// NewImplicitSimilarityCapped is NewImplicitSimilarity with hub-column
+// exclusion: columns of degree > maxColDegree are removed from the pattern
+// before the operator is formed, mirroring sparse.SimilarityCapped.
+// maxColDegree ≤ 0 keeps every column.
+func NewImplicitSimilarityCapped(a *sparse.CSR, maxColDegree int) *ImplicitSimilarity {
+	ap := a.Pattern()
+	if maxColDegree > 0 {
+		ap = sparse.DropHubColumns(ap, maxColDegree)
+	}
+	at := sparse.Transpose(ap)
+	colCount := make([]float64, a.Cols)
+	for _, c := range ap.Col {
+		colCount[c]++
+	}
+	inv := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		deg := 0.0
+		for _, c := range ap.Row(i) {
+			deg += colCount[c]
+		}
+		if deg > 0 {
+			inv[i] = 1 / sqrt(deg)
+		}
+	}
+	return &ImplicitSimilarity{
+		A: ap, At: at, InvSqrt: inv,
+		tmpN: make([]float64, a.Rows),
+		tmpK: make([]float64, a.Cols),
+	}
+}
+
+// Dim returns the operator dimension (rows of A).
+func (o *ImplicitSimilarity) Dim() int { return o.A.Rows }
+
+// Apply computes y = D^{-1/2} Ā Āᵀ D^{-1/2} x.
+func (o *ImplicitSimilarity) Apply(x, y []float64) {
+	for i := range x {
+		o.tmpN[i] = x[i] * o.InvSqrt[i]
+	}
+	if err := sparse.SpMV(o.At, o.tmpN, o.tmpK); err != nil {
+		panic("eigen: ImplicitSimilarity dimension mismatch: " + err.Error())
+	}
+	if err := sparse.SpMV(o.A, o.tmpK, y); err != nil {
+		panic("eigen: ImplicitSimilarity dimension mismatch: " + err.Error())
+	}
+	for i := range y {
+		y[i] *= o.InvSqrt[i]
+	}
+}

@@ -1,0 +1,118 @@
+package eigen
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+// ErrNoConverge is returned when an iterative eigensolver exceeds its
+// iteration budget.
+var ErrNoConverge = errors.New("eigen: eigensolver failed to converge")
+
+// SymTridEigen computes all eigenvalues and (optionally) eigenvectors of the
+// symmetric tridiagonal matrix with diagonal d (length n) and off-diagonal e
+// (length n-1, e[i] couples i and i+1), using the implicit QL algorithm with
+// Wilkinson shifts (EISPACK tql2). Eigenvalues are returned in ascending
+// order. When vectors is true, the i-th column of the returned z holds the
+// eigenvector for eigenvalue i, with z stored row-major as z[row*n+col].
+func SymTridEigen(d, e []float64, vectors bool) (eig []float64, z []float64, err error) {
+	n := len(d)
+	if n == 0 {
+		return nil, nil, nil
+	}
+	if len(e) != n-1 && !(n == 1 && len(e) == 0) {
+		return nil, nil, errors.New("eigen: off-diagonal length must be n-1")
+	}
+	eig = append([]float64(nil), d...)
+	work := make([]float64, n)
+	copy(work, e)
+	if vectors {
+		z = make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			z[i*n+i] = 1
+		}
+	}
+
+	const maxIter = 50
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			// Find a small off-diagonal element to split at.
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(eig[m]) + math.Abs(eig[m+1])
+				if math.Abs(work[m]) <= machEps*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter == maxIter {
+				return nil, nil, ErrNoConverge
+			}
+			// Wilkinson shift.
+			g := (eig[l+1] - eig[l]) / (2 * work[l])
+			r := math.Hypot(g, 1)
+			g = eig[m] - eig[l] + work[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * work[i]
+				b := c * work[i]
+				r = math.Hypot(f, g)
+				work[i+1] = r
+				if r == 0 {
+					eig[i+1] -= p
+					work[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = eig[i+1] - p
+				r = (eig[i]-g)*s + 2*c*b
+				p = s * r
+				eig[i+1] = g + p
+				g = c*r - b
+				if vectors {
+					for k := 0; k < n; k++ {
+						f := z[k*n+i+1]
+						z[k*n+i+1] = s*z[k*n+i] + c*f
+						z[k*n+i] = c*z[k*n+i] - s*f
+					}
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			eig[l] -= p
+			work[l] = g
+			work[m] = 0
+		}
+	}
+
+	// Sort ascending, permuting eigenvectors alongside.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return eig[idx[a]] < eig[idx[b]] })
+	sortedEig := make([]float64, n)
+	var sortedZ []float64
+	if vectors {
+		sortedZ = make([]float64, n*n)
+	}
+	for newCol, oldCol := range idx {
+		sortedEig[newCol] = eig[oldCol]
+		if vectors {
+			for row := 0; row < n; row++ {
+				sortedZ[row*n+newCol] = z[row*n+oldCol]
+			}
+		}
+	}
+	return sortedEig, sortedZ, nil
+}
+
+const machEps = 2.220446049250313e-16

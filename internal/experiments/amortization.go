@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AmortizationRow is one (workload, accelerator, reorderer) break-even
+// analysis: how many times must the same sparsity pattern be multiplied for
+// the reordering to pay for itself?
+type AmortizationRow struct {
+	Workload    string
+	Accelerator string
+	Reorderer   string
+	// PreprocessSeconds is the one-time host cost.
+	PreprocessSeconds float64
+	// SavingSeconds is the per-multiplication execution-time saving vs the
+	// original order (can be ≤ 0 when the reordering does not help).
+	SavingSeconds float64
+	// BreakEvenReuses is ceil(preprocess / saving); +Inf when saving ≤ 0.
+	BreakEvenReuses float64
+}
+
+// AmortizationResult reproduces the paper's §5.3 argument quantitatively:
+// preprocessing is worth it only when the pattern is reused enough, and a
+// faster preprocessor lowers that bar.
+type AmortizationResult struct {
+	Rows []AmortizationRow
+	// MedianBreakEven[reorderer] aggregates over workloads/accelerators
+	// (median, since +Inf rows would destroy a geomean).
+	MedianBreakEven map[string]float64
+}
+
+// Amortization measures per-method break-even reuse counts on a suite
+// subset.
+func Amortization(c Config) (*AmortizationResult, error) {
+	c = c.WithDefaults()
+	if len(c.SuiteIDs) == 0 {
+		c.SuiteIDs = []string{"IN", "MI", "SM", "EX"}
+	}
+	out := &AmortizationResult{MedianBreakEven: map[string]float64{}}
+	perMethod := map[string][]float64{}
+
+	for _, spec := range c.suite() {
+		a := spec.Generate(c.Scale)
+		aOp, bOp := operands(a)
+		methods := c.reorderers(aOp)
+		// Original compute time per accelerator.
+		for _, acfg := range c.Accelerators {
+			scaled := scaleAccelerator(acfg, c.Scale)
+			base, err := simulateWithPerm(scaled, aOp, bOp, nil)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range methods {
+				if r.Name() == "Original" {
+					continue
+				}
+				res, err := r.Reorder(aOp)
+				if err != nil {
+					return nil, err
+				}
+				sim, err := simulateWithPerm(scaled, aOp, bOp, res.Perm)
+				if err != nil {
+					return nil, err
+				}
+				saving := base.Seconds() - sim.Seconds()
+				row := AmortizationRow{
+					Workload:          spec.ID,
+					Accelerator:       acfg.Name,
+					Reorderer:         r.Name(),
+					PreprocessSeconds: res.PreprocessTime.Seconds(),
+					SavingSeconds:     saving,
+				}
+				if saving > 0 {
+					row.BreakEvenReuses = math.Ceil(row.PreprocessSeconds / saving)
+				} else {
+					row.BreakEvenReuses = math.Inf(1)
+				}
+				out.Rows = append(out.Rows, row)
+				perMethod[r.Name()] = append(perMethod[r.Name()], row.BreakEvenReuses)
+			}
+		}
+	}
+	for name, vals := range perMethod {
+		out.MedianBreakEven[name] = medianWithInf(vals)
+	}
+
+	c.printf("\nAmortization (paper §5.3: preprocessing pays off only under reuse)\n")
+	c.printf("%-4s %-10s %-8s %12s %14s %12s\n", "WL", "Accel", "Method", "preproc(s)", "saving(s)/mul", "break-even")
+	for _, r := range out.Rows {
+		be := "never"
+		if !math.IsInf(r.BreakEvenReuses, 1) {
+			be = formatCount(r.BreakEvenReuses)
+		}
+		c.printf("%-4s %-10s %-8s %12.3f %14.6f %12s\n",
+			r.Workload, r.Accelerator, r.Reorderer, r.PreprocessSeconds, r.SavingSeconds, be)
+	}
+	c.printf("median break-even reuses: ")
+	for name, v := range out.MedianBreakEven {
+		if math.IsInf(v, 1) {
+			c.printf("%s never  ", name)
+		} else {
+			c.printf("%s %s  ", name, formatCount(v))
+		}
+	}
+	c.printf("\n(the paper: preprocessing can cost ~1000 multiplications — reuse is what justifies it)\n")
+	return out, nil
+}
+
+// medianWithInf returns the median treating +Inf as the largest values.
+func medianWithInf(vals []float64) float64 {
+	if len(vals) == 0 {
+		return math.Inf(1)
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+func formatCount(v float64) string {
+	switch {
+	case v >= 1e6:
+		return "≥1M"
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -1,0 +1,372 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bootes/internal/accel"
+	"bootes/internal/workloads"
+)
+
+// tiny returns a config small enough for fast tests but large enough that
+// the qualitative shapes still hold.
+func tiny() Config {
+	return Config{Scale: 0.04, Seed: 1, SuiteIDs: []string{"IN", "VI", "SM"}}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	res, err := Table1(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d dataflow rows", len(res.Rows))
+	}
+	var inner, outer, rowWise Table1Row
+	for _, r := range res.Rows {
+		switch r.Dataflow {
+		case accel.InnerProduct:
+			inner = r
+		case accel.OuterProduct:
+			outer = r
+		case accel.RowWiseProduct:
+			rowWise = r
+		}
+	}
+	// The paper's Table 1 claims, measured: inner over-fetches B; outer
+	// explodes psum (C) traffic; row-wise is the best total.
+	if inner.NormB <= rowWise.NormB {
+		t.Errorf("inner B %.2f should exceed row-wise %.2f", inner.NormB, rowWise.NormB)
+	}
+	if outer.NormC <= rowWise.NormC {
+		t.Errorf("outer C %.2f should exceed row-wise %.2f", outer.NormC, rowWise.NormC)
+	}
+	if rowWise.NormTotal >= inner.NormTotal || rowWise.NormTotal >= outer.NormTotal {
+		t.Errorf("row-wise total %.2f should be least (%.2f, %.2f)", rowWise.NormTotal, inner.NormTotal, outer.NormTotal)
+	}
+	if !inner.IndexIntersection {
+		t.Error("inner product should be flagged for index intersection")
+	}
+}
+
+func TestTable2Exponents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep is slow")
+	}
+	cfg := tiny()
+	res, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	exps := map[string]Table2Row{}
+	for _, r := range res.Rows {
+		exps[r.Algorithm] = r
+	}
+	// The paper's claim: Bootes scales ~linearly in N while Gamma and Graph
+	// degrade superlinearly. Generous bounds absorb timing noise.
+	if b := exps["Bootes"]; b.SizeExponent > 1.7 {
+		t.Errorf("Bootes size exponent %.2f should be ~linear", b.SizeExponent)
+	}
+	if g := exps["Gamma"]; g.SizeExponent < 1.3 {
+		t.Errorf("Gamma size exponent %.2f should be superlinear", g.SizeExponent)
+	}
+}
+
+func TestFigure1And2(t *testing.T) {
+	cfg := tiny()
+	f1, err := Figure1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.DistantSimilarPairs <= 0 {
+		t.Error("no distant similar pairs found — no reordering opportunity visible")
+	}
+	if !strings.Contains(f1.Plot, "+") {
+		t.Error("missing spy plot")
+	}
+
+	f2, err := Figure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f2.Panels) != 1+3+5 {
+		t.Fatalf("%d panels, want 9", len(f2.Panels))
+	}
+	if f2.Panels[0].BTrafficRatio != 1.0 {
+		t.Error("original panel ratio must be 1")
+	}
+	// At least one Bootes panel must improve traffic substantially.
+	best := 1.0
+	for _, p := range f2.Panels[4:] {
+		if p.BTrafficRatio < best {
+			best = p.BTrafficRatio
+		}
+	}
+	if best > 0.8 {
+		t.Errorf("best Bootes panel ratio %.2f, want < 0.8", best)
+	}
+}
+
+func TestFigure4HeadlineShapes(t *testing.T) {
+	cfg := tiny()
+	cfg.SuiteIDs = []string{"IN", "MI", "SM"}
+	res, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3*5*3 { // workloads × reorderers × accelerators
+		t.Fatalf("%d cells", len(res.Cells))
+	}
+	// Headline: Bootes reduces traffic vs Original on every accelerator for
+	// these reorder-friendly workloads.
+	for _, acc := range []string{"Flexagon", "GAMMA", "Trapezoid"} {
+		if f := res.Reduction[acc]["Original"]; f < 1.0 {
+			t.Errorf("%s: Bootes vs Original %.2fx, want ≥ 1", acc, f)
+		}
+	}
+}
+
+func TestFigure5Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalability sweep is slow")
+	}
+	cfg := tiny()
+	res, err := Figure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, algo := range []string{"Gamma", "Graph", "Hier"} {
+		if _, ok := res.TimeSpeedup[algo]; !ok {
+			t.Errorf("missing time speedup for %s", algo)
+		}
+	}
+	// Memory: Bootes must beat the quadratic-tracking baselines.
+	if res.MemReduction["Gamma"] < 1 {
+		t.Errorf("Gamma memory reduction %.2f, want > 1", res.MemReduction["Gamma"])
+	}
+	if res.MemReduction["Graph"] < 1 {
+		t.Errorf("Graph memory reduction %.2f, want > 1", res.MemReduction["Graph"])
+	}
+}
+
+func TestFigure6AndTable4(t *testing.T) {
+	cfg := tiny()
+	cfg.SuiteIDs = []string{"IN", "SM"}
+	res, err := Figure6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2*3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, acc := range []string{"Flexagon", "GAMMA", "Trapezoid"} {
+		tbl := res.Table4[acc]
+		if tbl["Bootes"] <= 0 {
+			t.Errorf("%s: missing Bootes speedup", acc)
+		}
+		// On reorder-friendly workloads Bootes' execution speedup vs no
+		// preprocessing must be ≥ 1 and ≥ the weakest baseline.
+		if tbl["Bootes"] < 1.0 {
+			t.Errorf("%s: Bootes execution speedup %.2f < 1", acc, tbl["Bootes"])
+		}
+	}
+	for _, name := range []string{"Gamma", "Graph", "Hier"} {
+		if res.PreprocessRatio[name] <= 0 {
+			t.Errorf("missing preprocess ratio for %s", name)
+		}
+	}
+}
+
+func TestTable3Listing(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tiny()
+	cfg.Out = &buf
+	res, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	out := buf.String()
+	if !strings.Contains(out, "invextr1_new") {
+		t.Error("missing suite entries in rendering")
+	}
+	// Full suite without restriction.
+	cfg.SuiteIDs = nil
+	full, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Rows) != 26 {
+		t.Errorf("full suite has %d rows, want 26", len(full.Rows))
+	}
+}
+
+func TestLabelMatrixProducesSaneLabels(t *testing.T) {
+	cfg := tiny()
+	// A banded matrix must label no-reorder; a scrambled block with hidden
+	// groups should label a positive k.
+	banded := workloads.Spec{ID: "B", Name: "banded", Rows: 1024, Cols: 1024,
+		Density: 0.008, Archetype: workloads.ArchBanded, Seed: 3}
+	lm, err := cfg.LabelMatrix(banded, banded.Generate(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.Label != 0 {
+		t.Errorf("banded labelled k-class %d, want no-reorder", lm.Label)
+	}
+
+	block := workloads.Spec{ID: "S", Name: "block", Rows: 2048, Cols: 2048,
+		Density: 0.008, Archetype: workloads.ArchScrambledBlock, Groups: 16, Seed: 4}
+	lm, err = cfg.LabelMatrix(block, block.Generate(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.Label == 0 {
+		t.Errorf("scrambled block labelled no-reorder (gain %.2f, byK %v)", lm.BestGain, lm.TrafficByK)
+	}
+}
+
+func TestTrainOnSyntheticCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training is slow")
+	}
+	cfg := Config{Scale: 0.02, Seed: 2}
+	rep, test, err := cfg.TrainModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Model == nil || rep.TestSize != len(test) {
+		t.Fatal("incomplete report")
+	}
+	if rep.GateAccuracy < 0.5 {
+		t.Errorf("gate accuracy %.2f barely better than chance", rep.GateAccuracy)
+	}
+	if rep.ModelBytes <= 0 || rep.ModelBytes > 64<<10 {
+		t.Errorf("model size %d out of range", rep.ModelBytes)
+	}
+
+	// Figure 3 consumes the model and test set.
+	f3, err := Figure3(cfg, NewCoreModel(rep.Model), test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f3.Rows) == 0 {
+		t.Fatal("no figure 3 rows")
+	}
+	if f3.ModelGeomeanSlowdown < 1.0 {
+		t.Errorf("geomean slowdown %.3f below 1 (impossible)", f3.ModelGeomeanSlowdown)
+	}
+	for _, r := range f3.Rows {
+		if v, ok := r.NormTime[r.BestK]; ok && v > 1.0001 {
+			t.Errorf("%s: best k normalized time %.3f != 1", r.Matrix, v)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Scale != 0.12 || len(c.Accelerators) != 3 || c.Out == nil {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+	if got := len(c.suite()); got != 26 {
+		t.Errorf("suite size %d", got)
+	}
+	c.SuiteIDs = []string{"IN", "nope"}
+	if got := len(c.suite()); got != 1 {
+		t.Errorf("restricted suite size %d", got)
+	}
+}
+
+func TestOperandsRule(t *testing.T) {
+	sq := workloads.Random(workloads.Params{Rows: 32, Cols: 32, Density: 0.1, Seed: 1})
+	a, b := operands(sq)
+	if a != b {
+		t.Error("square matrix should use B = A")
+	}
+	rect := workloads.Random(workloads.Params{Rows: 32, Cols: 48, Density: 0.1, Seed: 1})
+	a, b = operands(rect)
+	if b.Rows != rect.Cols || b.Cols != rect.Rows {
+		t.Error("rectangular matrix should use B = Aᵀ")
+	}
+	if a.Cols != b.Rows {
+		t.Error("operands not multiplicable")
+	}
+}
+
+func TestModelComparisonAndEnergyReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus labelling is slow")
+	}
+	cfg := Config{Scale: 0.02, Seed: 3}
+	corpus, err := cfg.BuildCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := ModelComparison(cfg, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.ForestBytes <= mc.TreeBytes {
+		t.Errorf("forest %dB should exceed tree %dB (the paper's storage trade-off)", mc.ForestBytes, mc.TreeBytes)
+	}
+	if mc.TreeAccuracy <= 0 || mc.ForestAccuracy <= 0 {
+		t.Error("missing accuracies")
+	}
+
+	ecfg := tiny()
+	ecfg.SuiteIDs = []string{"IN", "SM"}
+	er, err := EnergyReport(ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Rows) != 2*3 {
+		t.Fatalf("%d energy rows", len(er.Rows))
+	}
+	for _, r := range er.Rows {
+		if r.MemoryShare < 0.5 {
+			t.Errorf("%s/%s: memory share %.2f — movement should dominate", r.Workload, r.Accelerator, r.MemoryShare)
+		}
+		if r.BootesPJ <= 0 || r.OriginalPJ <= 0 {
+			t.Error("missing energy")
+		}
+	}
+	for _, acc := range []string{"Flexagon", "GAMMA", "Trapezoid"} {
+		if er.Saving[acc] < 0.95 {
+			t.Errorf("%s: energy saving %.2f — Bootes should not cost energy", acc, er.Saving[acc])
+		}
+	}
+}
+
+func TestAmortization(t *testing.T) {
+	cfg := tiny()
+	cfg.SuiteIDs = []string{"IN", "SM"}
+	res, err := Amortization(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2*3*4 { // workloads × accelerators × non-Original methods
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.PreprocessSeconds < 0 {
+			t.Error("negative preprocessing time")
+		}
+		if r.SavingSeconds > 0 && (r.BreakEvenReuses < 1 || r.BreakEvenReuses != float64(int64(r.BreakEvenReuses))) {
+			t.Errorf("break-even %v not a positive integer", r.BreakEvenReuses)
+		}
+	}
+	for _, name := range []string{"Bootes", "Gamma", "Graph", "Hier"} {
+		if _, ok := res.MedianBreakEven[name]; !ok {
+			t.Errorf("missing median for %s", name)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"bootes/internal/accel"
+	"bootes/internal/core"
+	"bootes/internal/dtree"
+	"bootes/internal/stats"
+)
+
+// ModelComparisonResult reproduces the paper's §3 model-selection
+// discussion: ensembles are a little more accurate than the single decision
+// tree but cost considerably more storage, which is why Bootes deploys the
+// tree.
+type ModelComparisonResult struct {
+	TreeAccuracy   float64
+	TreeBytes      int64
+	ForestAccuracy float64
+	ForestBytes    int64
+}
+
+// ModelComparison trains a single CART tree and a bagged forest on the same
+// labelled corpus split and compares held-out accuracy and serialized size.
+func ModelComparison(c Config, corpus []LabeledMatrix) (*ModelComparisonResult, error) {
+	c = c.WithDefaults()
+	if corpus == nil {
+		var err error
+		corpus, err = c.BuildCorpus()
+		if err != nil {
+			return nil, err
+		}
+	}
+	rep, test, err := c.trainOn(corpus)
+	if err != nil {
+		return nil, err
+	}
+	testS := make([]dtree.Sample, len(test))
+	testIDs := map[string]bool{}
+	for i, m := range test {
+		testIDs[m.Spec.ID] = true
+		testS[i] = dtree.Sample{Features: m.Features.Vector(), Label: m.Label}
+	}
+	var trainS []dtree.Sample
+	for _, m := range corpus {
+		if !testIDs[m.Spec.ID] {
+			trainS = append(trainS, dtree.Sample{Features: m.Features.Vector(), Label: m.Label})
+		}
+	}
+
+	forest, err := dtree.TrainForest(trainS, core.NumClasses, dtree.ForestOptions{
+		Trees: 25,
+		Tree:  dtree.Options{MaxDepth: 8, MinLeaf: 1, BalanceClasses: true},
+		Seed:  c.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ModelComparisonResult{
+		TreeBytes:   rep.ModelBytes,
+		ForestBytes: forest.ModeledBytes(),
+	}
+	out.TreeAccuracy = rep.TestAccuracy
+	if len(testS) > 0 {
+		out.ForestAccuracy, err = forest.Accuracy(testS)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	c.printf("\nModel comparison (paper §3: why a decision tree)\n")
+	c.printf("%-16s %12s %12s\n", "Model", "accuracy", "size")
+	c.printf("%-16s %11.1f%% %11dB\n", "Decision tree", 100*out.TreeAccuracy, out.TreeBytes)
+	c.printf("%-16s %11.1f%% %11dB (%.0fx larger)\n", "Random forest",
+		100*out.ForestAccuracy, out.ForestBytes,
+		float64(out.ForestBytes)/float64(maxI64(out.TreeBytes, 1)))
+	return out, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EnergyRow is one workload's energy on one accelerator, original vs Bootes.
+type EnergyRow struct {
+	Workload    string
+	Accelerator string
+	OriginalPJ  float64
+	BootesPJ    float64
+	MemoryShare float64 // of the original run
+}
+
+// EnergyReportResult quantifies the paper's §5.2 energy argument: off-chip
+// transfers cost orders of magnitude more than computation, so the traffic
+// Bootes removes converts directly into energy savings.
+type EnergyReportResult struct {
+	Rows []EnergyRow
+	// Saving[accelerator] is the geomean energy ratio original/Bootes.
+	Saving map[string]float64
+}
+
+// EnergyReport runs a suite subset with and without Bootes and applies the
+// default energy model.
+func EnergyReport(c Config) (*EnergyReportResult, error) {
+	c = c.WithDefaults()
+	out := &EnergyReportResult{Saving: map[string]float64{}}
+	perAccel := map[string][]float64{}
+	model := accel.DefaultEnergy()
+
+	ids := c.SuiteIDs
+	if len(ids) == 0 {
+		ids = []string{"IN", "MI", "SM", "EX"}
+		c.SuiteIDs = ids
+	}
+	for _, spec := range c.suite() {
+		a := spec.Generate(c.Scale)
+		aOp, bOp := operands(a)
+		pipeline := c.reorderers(aOp)[0]
+		res, err := pipeline.Reorder(aOp)
+		if err != nil {
+			return nil, err
+		}
+		for _, acfg := range c.Accelerators {
+			scaled := scaleAccelerator(acfg, c.Scale)
+			base, err := simulateWithPerm(scaled, aOp, bOp, nil)
+			if err != nil {
+				return nil, err
+			}
+			with, err := simulateWithPerm(scaled, aOp, bOp, res.Perm)
+			if err != nil {
+				return nil, err
+			}
+			e0 := base.Energy(model)
+			e1 := with.Energy(model)
+			row := EnergyRow{
+				Workload:    spec.ID,
+				Accelerator: acfg.Name,
+				OriginalPJ:  e0.TotalPJ(),
+				BootesPJ:    e1.TotalPJ(),
+				MemoryShare: e0.MemoryShare(),
+			}
+			out.Rows = append(out.Rows, row)
+			perAccel[acfg.Name] = append(perAccel[acfg.Name], nz(row.OriginalPJ/nzF(row.BootesPJ)))
+		}
+	}
+	for name, ratios := range perAccel {
+		out.Saving[name] = stats.MustGeoMean(ratios)
+	}
+
+	c.printf("\nEnergy report (paper §5.2: traffic reduction → efficiency)\n")
+	c.printf("%-4s %-10s %14s %14s %10s\n", "WL", "Accel", "orig (µJ)", "bootes (µJ)", "mem share")
+	for _, r := range out.Rows {
+		c.printf("%-4s %-10s %14.1f %14.1f %9.0f%%\n",
+			r.Workload, r.Accelerator, r.OriginalPJ/1e6, r.BootesPJ/1e6, 100*r.MemoryShare)
+	}
+	c.printf("geomean energy saving: ")
+	for _, acfg := range c.Accelerators {
+		c.printf("%s %.2fx  ", acfg.Name, out.Saving[acfg.Name])
+	}
+	c.printf("\n")
+	return out, nil
+}
+
+func nzF(x float64) float64 {
+	if x == 0 {
+		return 1e-12
+	}
+	return x
+}

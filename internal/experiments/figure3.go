@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"sort"
+
+	"bootes/internal/core"
+	"bootes/internal/stats"
+)
+
+// Figure3Row is one validation matrix's cluster-size sweep.
+type Figure3Row struct {
+	Matrix string
+	// NormTime maps k → end-to-end cost normalized to the best k for this
+	// matrix (1.0 = best), mirroring Figure 3's bars. The "execution time"
+	// proxy is B traffic, which is what cluster size influences.
+	NormTime map[int]float64
+	// PredictedK is the model's choice (0 = no reorder predicted).
+	PredictedK int
+	// BestK is the sweep's winner.
+	BestK int
+	// PredictedSlowdown is NormTime[PredictedK] (1.0 when the model picked
+	// the best configuration).
+	PredictedSlowdown float64
+}
+
+// Figure3Result aggregates the cluster-size study.
+type Figure3Result struct {
+	Rows []Figure3Row
+	// ModelGeomeanSlowdown is the geomean of predicted slowdowns vs best
+	// (paper: the model is optimal in most cases, ≤1.05× otherwise).
+	ModelGeomeanSlowdown float64
+	// OptimalRate is the fraction of matrices where the model picked the
+	// best k exactly.
+	OptimalRate float64
+}
+
+// Figure3 sweeps cluster sizes on held-out labelled matrices and marks the
+// decision tree's predictions, reproducing the paper's Figure 3. The test
+// set comes from the training split (c.Model must be trained on the same
+// corpus for a fair "validation set" reading; pass the model and test set
+// from TrainModel).
+func Figure3(c Config, model *coreModel, test []LabeledMatrix) (*Figure3Result, error) {
+	c = c.WithDefaults()
+	out := &Figure3Result{}
+	var slowdowns []float64
+	optimal := 0
+	counted := 0
+
+	for _, lm := range test {
+		if len(lm.TrafficByK) == 0 {
+			continue
+		}
+		row := Figure3Row{Matrix: lm.Spec.Name, NormTime: map[int]float64{}}
+
+		// Best ratio across the sweep (including "no reorder" = 1.0).
+		best := 1.0
+		bestK := 0
+		for k, r := range lm.TrafficByK {
+			if r < best {
+				best, bestK = r, k
+			}
+		}
+		row.BestK = bestK
+		for k, r := range lm.TrafficByK {
+			row.NormTime[k] = r / best
+		}
+		row.NormTime[0] = 1.0 / best // the no-reorder bar
+
+		// Model prediction.
+		pred, err := model.tree.Predict(lm.Features.Vector())
+		if err != nil {
+			return nil, err
+		}
+		predK, err := core.KForLabel(pred)
+		if err != nil {
+			return nil, err
+		}
+		row.PredictedK = predK
+		if s, ok := row.NormTime[predK]; ok {
+			row.PredictedSlowdown = s
+		} else {
+			row.PredictedSlowdown = row.NormTime[0]
+		}
+		if row.PredictedK == row.BestK {
+			optimal++
+		}
+		counted++
+		slowdowns = append(slowdowns, row.PredictedSlowdown)
+		out.Rows = append(out.Rows, row)
+	}
+	if len(slowdowns) > 0 {
+		out.ModelGeomeanSlowdown = stats.MustGeoMean(slowdowns)
+	}
+	if counted > 0 {
+		out.OptimalRate = float64(optimal) / float64(counted)
+	}
+
+	c.printf("\nFigure 3 — cluster-size sweep on the validation set (normalized to best; ★ = model pick)\n")
+	c.printf("%-28s %8s %8s %8s %8s %8s %8s   best  pick\n", "Matrix", "none", "k=2", "k=4", "k=8", "k=16", "k=32")
+	for _, r := range out.Rows {
+		c.printf("%-28s", truncName(r.Matrix, 28))
+		for _, k := range append([]int{0}, core.CandidateKs...) {
+			v, ok := r.NormTime[k]
+			if !ok {
+				c.printf(" %8s", "-")
+				continue
+			}
+			star := " "
+			if k == r.PredictedK {
+				star = "*"
+			}
+			c.printf(" %7.2f%s", v, star)
+		}
+		c.printf("   k=%-3d k=%d\n", r.BestK, r.PredictedK)
+	}
+	c.printf("model: optimal pick on %.0f%% of matrices, geomean slowdown vs best %.3fx\n",
+		100*out.OptimalRate, out.ModelGeomeanSlowdown)
+	return out, nil
+}
+
+// coreModel wraps the dtree so Figure 3's signature stays stable if the
+// model representation changes.
+type coreModel struct{ tree treePredictor }
+
+// treePredictor is the minimal prediction interface Figure 3 needs.
+type treePredictor interface {
+	Predict(x []float64) (int, error)
+}
+
+// NewCoreModel adapts a trained decision tree for Figure3.
+func NewCoreModel(t treePredictor) *coreModel { return &coreModel{tree: t} }
+
+func truncName(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// sortedKs returns the candidate ks present in a NormTime map, ascending.
+func sortedKs(m map[int]float64) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

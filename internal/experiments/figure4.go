@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"math"
+
+	"bootes/internal/accel"
+	"bootes/internal/chart"
+	"bootes/internal/stats"
+)
+
+// Figure4Cell is one (accelerator, reorderer, workload) traffic breakdown,
+// normalized to compulsory traffic — one stacked bar of the paper's Figure 4.
+type Figure4Cell struct {
+	Accelerator string
+	Reorderer   string
+	Workload    string
+	NormA       float64
+	NormB       float64
+	NormC       float64
+}
+
+// Total returns the stacked bar height.
+func (f Figure4Cell) Total() float64 { return f.NormA + f.NormB + f.NormC }
+
+// Figure4Result aggregates the adaptability analysis.
+type Figure4Result struct {
+	Cells []Figure4Cell
+	// Reduction[accelerator][reorderer] is the geomean factor by which
+	// Bootes' total traffic beats that reorderer's on that accelerator
+	// (the paper's headline 1.67×/1.55×/1.95×/2.31× style numbers).
+	Reduction map[string]map[string]float64
+	// ReductionB is the same comparison restricted to B-operand traffic —
+	// the component row reordering targets (A streams once and C is
+	// ordering-invariant, so they dilute the total).
+	ReductionB map[string]map[string]float64
+}
+
+// Figure4 runs the full adaptability study: every suite workload × every
+// reordering method × every accelerator, measuring off-chip traffic split by
+// operand on the detailed cache simulator.
+func Figure4(c Config) (*Figure4Result, error) {
+	c = c.WithDefaults()
+	out := &Figure4Result{
+		Reduction:  map[string]map[string]float64{},
+		ReductionB: map[string]map[string]float64{},
+	}
+
+	// total[acc][reo][workload] = normalized total traffic; bOnly likewise
+	// for the B operand.
+	totals := map[string]map[string]map[string]float64{}
+	bOnly := map[string]map[string]map[string]float64{}
+
+	for _, spec := range c.suite() {
+		a := spec.Generate(c.Scale)
+		aOp, bOp := operands(a)
+		// Permutations are accelerator-independent: compute once per method.
+		for _, r := range c.reorderers(aOp) {
+			res, err := r.Reorder(aOp)
+			if err != nil {
+				return nil, err
+			}
+			for _, acfg := range c.Accelerators {
+				scaled := scaleAccelerator(acfg, c.Scale)
+				sim, err := simulateWithPerm(scaled, aOp, bOp, res.Perm)
+				if err != nil {
+					return nil, err
+				}
+				na, nb, nc := sim.NormalizedTraffic()
+				cell := Figure4Cell{
+					Accelerator: acfg.Name,
+					Reorderer:   r.Name(),
+					Workload:    spec.ID,
+					NormA:       na, NormB: nb, NormC: nc,
+				}
+				out.Cells = append(out.Cells, cell)
+				if totals[acfg.Name] == nil {
+					totals[acfg.Name] = map[string]map[string]float64{}
+					bOnly[acfg.Name] = map[string]map[string]float64{}
+				}
+				if totals[acfg.Name][r.Name()] == nil {
+					totals[acfg.Name][r.Name()] = map[string]float64{}
+					bOnly[acfg.Name][r.Name()] = map[string]float64{}
+				}
+				totals[acfg.Name][r.Name()][spec.ID] = nz(cell.Total())
+				bOnly[acfg.Name][r.Name()][spec.ID] = nz(cell.NormB)
+			}
+		}
+	}
+
+	// Geomean reduction of Bootes vs each method, per accelerator.
+	geo := func(src map[string]map[string]map[string]float64, dst map[string]map[string]float64) {
+		for accName, byReo := range src {
+			bootes := byReo["Bootes"]
+			dst[accName] = map[string]float64{}
+			for reoName, byWorkload := range byReo {
+				if reoName == "Bootes" {
+					continue
+				}
+				var ratios []float64
+				for w, t := range byWorkload {
+					if bt, ok := bootes[w]; ok && bt > 0 {
+						ratios = append(ratios, t/bt)
+					}
+				}
+				if len(ratios) > 0 {
+					dst[accName][reoName] = stats.MustGeoMean(ratios)
+				}
+			}
+		}
+	}
+	geo(totals, out.Reduction)
+	geo(bOnly, out.ReductionB)
+
+	c.printf("\nFigure 4 — memory traffic normalized to compulsory (A/B/C breakdown)\n")
+	for _, acfg := range c.Accelerators {
+		c.printf("--- %s ---\n", acfg.Name)
+		c.printf("%-4s", "WL")
+		for _, r := range c.reorderers(nil) {
+			c.printf(" %21s", r.Name())
+		}
+		c.printf("\n")
+		for _, spec := range c.suite() {
+			c.printf("%-4s", spec.ID)
+			for _, r := range c.reorderers(nil) {
+				cell, ok := findCell(out.Cells, acfg.Name, r.Name(), spec.ID)
+				if !ok {
+					c.printf(" %21s", "-")
+					continue
+				}
+				c.printf("  %5.2f+%5.2f+%5.2f=%4.1f", cell.NormA, cell.NormB, cell.NormC, cell.Total())
+			}
+			c.printf("\n")
+		}
+		c.printf("Bootes total-traffic reduction (geomean): ")
+		for _, reo := range []string{"Original", "Gamma", "Graph", "Hier"} {
+			c.printf("%s %.2fx  ", reo, out.Reduction[acfg.Name][reo])
+		}
+		c.printf("\nBootes B-traffic reduction (geomean):     ")
+		for _, reo := range []string{"Original", "Gamma", "Graph", "Hier"} {
+			c.printf("%s %.2fx  ", reo, out.ReductionB[acfg.Name][reo])
+		}
+		c.printf("\n")
+
+		if c.FigDir != "" {
+			groups := make([]string, 0, len(c.suite()))
+			for _, spec := range c.suite() {
+				groups = append(groups, spec.ID)
+			}
+			var series []chart.BarSeries
+			for _, r := range c.reorderers(nil) {
+				vals := make([]float64, len(groups))
+				for gi, wl := range groups {
+					if cell, ok := findCell(out.Cells, acfg.Name, r.Name(), wl); ok {
+						vals[gi] = cell.Total()
+					} else {
+						vals[gi] = math.NaN()
+					}
+				}
+				series = append(series, chart.BarSeries{Name: r.Name(), Values: vals})
+			}
+			if err := writeSVG(c, "figure4_"+acfg.Name+".svg", chart.GroupedBars{
+				Title:  "Figure 4 — traffic normalized to compulsory (" + acfg.Name + ")",
+				YLabel: "traffic / compulsory",
+				Groups: groups,
+				Series: series,
+				YRef:   1,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// scaleAccelerator shrinks an accelerator's cache with the workload scale so
+// cache/working-set ratios match the full-size setup.
+func scaleAccelerator(cfg accel.Config, scale float64) accel.Config {
+	out := cfg
+	out.CacheBytes = int64(float64(cfg.CacheBytes) * scale)
+	if out.CacheBytes < 4<<10 {
+		out.CacheBytes = 4 << 10
+	}
+	return out
+}
+
+func findCell(cells []Figure4Cell, acc, reo, wl string) (Figure4Cell, bool) {
+	for _, c := range cells {
+		if c.Accelerator == acc && c.Reorderer == reo && c.Workload == wl {
+			return c, true
+		}
+	}
+	return Figure4Cell{}, false
+}

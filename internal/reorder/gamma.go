@@ -1,0 +1,96 @@
+package reorder
+
+import (
+	"math/rand"
+	"time"
+
+	"bootes/internal/prio"
+	"bootes/internal/sparse"
+)
+
+// Gamma implements GAMMA's greedy windowed row reordering (paper Algorithm 1,
+// from Zhang et al., ASPLOS'21). Rows live in an addressable max-priority
+// queue; after emitting row P[i-1], every row sharing a column coordinate
+// with it gains priority, and once the window of W emitted rows has slid
+// past, the contribution of row P[i-W-1] is retracted — modeling that its
+// B-rows have been evicted from the cache.
+type Gamma struct {
+	// W is the window size — the number of recently emitted rows whose
+	// B-data is assumed cache-resident. 0 selects 128.
+	W int
+	// Seed picks the (paper: random) starting row deterministically.
+	Seed int64
+}
+
+// Name implements Reorderer.
+func (Gamma) Name() string { return "Gamma" }
+
+// Reorder implements Reorderer.
+func (g Gamma) Reorder(a *sparse.CSR) (*Result, error) {
+	start := time.Now()
+	w := g.W
+	if w <= 0 {
+		w = 128
+	}
+	m := a.Rows
+	perm := make(sparse.Permutation, 0, m)
+	if m == 0 {
+		return &Result{Perm: perm, PreprocessTime: time.Since(start), Reordered: false, Extra: map[string]float64{}}, nil
+	}
+
+	// Column → rows index ("tracking of row-column relationships" the paper
+	// charges to Gamma's footprint).
+	at := sparse.Transpose(a.Pattern())
+
+	q := prio.New(m)
+	for r := 0; r < m; r++ {
+		q.Insert(r, 0)
+	}
+
+	rng := rand.New(rand.NewSource(g.Seed ^ 0x6a3a))
+	startRow := rng.Intn(m)
+	perm = append(perm, int32(startRow))
+	q.Remove(startRow)
+
+	bump := func(row int32, delta int64) {
+		for _, u := range a.Row(int(row)) {
+			for _, r := range at.Row(int(u)) {
+				q.AddKey(int(r), delta)
+			}
+		}
+	}
+
+	for i := 1; i < m; i++ {
+		bump(perm[i-1], +1)
+		if i > w {
+			bump(perm[i-w-1], -1)
+		}
+		next, ok := q.Pop()
+		if !ok {
+			break
+		}
+		perm = append(perm, int32(next))
+	}
+
+	// Footprint per the paper's §5.3 description of GAMMA's preprocessor:
+	// besides the priority queue and the permutation array P (allocated up
+	// front, during the loop), it "keeps track of how many other rows share
+	// a nonzero value in the same column coordinate" — pairwise sharing
+	// records whose count is Σ_j d_j·(d_j−1)/2 over column degrees d_j.
+	// (Our implementation recomputes those contributions through Aᵀ instead
+	// of storing them, but the footprint model follows the algorithm as
+	// published so the scalability comparison is apples-to-apples.)
+	var trackingPairs int64
+	for j := 0; j < at.Rows; j++ {
+		d := int64(at.RowNNZ(j))
+		trackingPairs += d * (d - 1) / 2
+	}
+	footprint := q.ModeledBytes() + at.ModeledBytes() + int64(m)*4 + trackingPairs*12
+	return &Result{
+		Perm:           perm,
+		PreprocessTime: time.Since(start),
+		FootprintBytes: footprint,
+		Reordered:      !perm.IsIdentity(),
+		Extra:          map[string]float64{"window": float64(w)},
+	}, nil
+}

@@ -1,0 +1,143 @@
+package reorder
+
+import (
+	"container/heap"
+	"sort"
+	"time"
+
+	"bootes/internal/lsh"
+	"bootes/internal/sparse"
+	"bootes/internal/unionfind"
+)
+
+// Hier implements the hierarchical-clustering row reordering of Jiang et al.
+// (PPoPP'20), the paper's Algorithm 3. MinHash LSH proposes candidate row
+// pairs; a max-heap keyed on similarity drives agglomerative merging with a
+// union-find forest. Clusters exceeding ThresholdSize are frozen, and the
+// final permutation lists clusters contiguously.
+type Hier struct {
+	// Params are the (fixed, per the paper) LSH parameters.
+	Params lsh.Params
+	// ThresholdSize freezes clusters larger than this. 0 selects 128.
+	ThresholdSize int
+}
+
+// Name implements Reorderer.
+func (Hier) Name() string { return "Hier" }
+
+// simPair is a heap entry: candidate pair (a, b) with similarity score.
+type simPair struct {
+	a, b int32
+	sim  float64
+}
+
+// simHeap is a max-heap of simPair, ties broken by indices for determinism.
+type simHeap []simPair
+
+func (h simHeap) Len() int { return len(h) }
+func (h simHeap) Less(i, j int) bool {
+	if h[i].sim != h[j].sim {
+		return h[i].sim > h[j].sim
+	}
+	if h[i].a != h[j].a {
+		return h[i].a < h[j].a
+	}
+	return h[i].b < h[j].b
+}
+func (h simHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *simHeap) Push(x interface{}) { *h = append(*h, x.(simPair)) }
+func (h *simHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Reorder implements Reorderer.
+func (hr Hier) Reorder(a *sparse.CSR) (*Result, error) {
+	start := time.Now()
+	m := a.Rows
+	if m == 0 {
+		return &Result{Perm: sparse.Permutation{}, PreprocessTime: time.Since(start), Reordered: false, Extra: map[string]float64{}}, nil
+	}
+	params := hr.Params
+	if params.SigLen == 0 {
+		params = lsh.DefaultParams()
+	}
+	threshold := hr.ThresholdSize
+	if threshold <= 0 {
+		threshold = 128
+	}
+
+	ap := a.Pattern()
+	index := lsh.Build(m, ap.Row, params)
+	pairs := index.CandidatePairs()
+
+	h := make(simHeap, 0, len(pairs))
+	for _, p := range pairs {
+		h = append(h, simPair{a: p.A, b: p.B, sim: index.SignatureSimilarity(int(p.A), int(p.B))})
+	}
+	heap.Init(&h)
+	peakHeap := int64(len(h))
+
+	uf := unionfind.New(m)
+	frozen := make([]bool, m) // indexed by current root; checked via root lookup
+
+	for h.Len() > 0 {
+		p := heap.Pop(&h).(simPair)
+		ri, rj := uf.Find(int(p.a)), uf.Find(int(p.b))
+		if ri == rj || frozen[ri] || frozen[rj] {
+			continue
+		}
+		repI, repJ := uf.Representative(ri), uf.Representative(rj)
+		if int32(repI) == p.a && int32(repJ) == p.b || int32(repI) == p.b && int32(repJ) == p.a {
+			// Both endpoints are their clusters' representatives: merge.
+			root := uf.Union(ri, rj)
+			if uf.Size(root) > threshold {
+				frozen[root] = true
+			}
+			continue
+		}
+		// Re-key on the representatives' exact Jaccard similarity and
+		// reinsert (Algorithm 3 lines 19-24).
+		if repI == repJ {
+			continue
+		}
+		ra, rb := int32(repI), int32(repJ)
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		heap.Push(&h, simPair{a: ra, b: rb, sim: sparse.Jaccard(ap, int(ra), int(rb))})
+		if int64(h.Len()) > peakHeap {
+			peakHeap = int64(h.Len())
+		}
+	}
+
+	// Group rows into clusters; order clusters by their smallest member and
+	// members by original index — deterministic and locality-preserving.
+	groups := uf.Groups()
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(x, y int) bool { return groups[roots[x]][0] < groups[roots[y]][0] })
+	perm := make(sparse.Permutation, 0, m)
+	for _, r := range roots {
+		for _, row := range groups[r] {
+			perm = append(perm, int32(row))
+		}
+	}
+
+	footprint := index.ModeledBytes() + peakHeap*16 + uf.ModeledBytes() + int64(m)*4
+	return &Result{
+		Perm:           perm,
+		PreprocessTime: time.Since(start),
+		FootprintBytes: footprint,
+		Reordered:      !perm.IsIdentity(),
+		Extra: map[string]float64{
+			"candidates": float64(len(pairs)),
+			"clusters":   float64(uf.Clusters()),
+		},
+	}, nil
+}

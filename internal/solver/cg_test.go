@@ -1,0 +1,148 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bootes/internal/sparse"
+)
+
+// laplacian1D returns the SPD tridiagonal [−1, 2, −1] matrix.
+func laplacian1D(n int) *sparse.CSR {
+	coo := sparse.NewCOO(n, n, false)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 2)
+		if i > 0 {
+			coo.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			coo.Add(i, i+1, -1)
+		}
+	}
+	m, err := coo.ToCSR()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestCGSolvesLaplacian(t *testing.T) {
+	n := 200
+	a := laplacian1D(n)
+	rng := rand.New(rand.NewSource(1))
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	if err := sparse.SpMV(a, want, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, jacobi := range []bool{false, true} {
+		res, err := CG(a, b, CGOptions{Jacobi: jacobi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("jacobi=%v: not converged (residual %g after %d iters)", jacobi, res.Residual, res.Iterations)
+		}
+		for i := range want {
+			if math.Abs(res.X[i]-want[i]) > 1e-6 {
+				t.Fatalf("jacobi=%v: x[%d] = %v, want %v", jacobi, i, res.X[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCGExactArithmeticBound(t *testing.T) {
+	// CG converges in at most n iterations in exact arithmetic; allow slack.
+	n := 64
+	a := laplacian1D(n)
+	b := make([]float64, n)
+	b[0] = 1
+	res, err := CG(a, b, CGOptions{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations > 2*n {
+		t.Errorf("iterations = %d (converged=%v)", res.Iterations, res.Converged)
+	}
+}
+
+func TestCGErrors(t *testing.T) {
+	if _, err := CG(sparse.Zero(2, 3), []float64{1, 2}, CGOptions{}); err == nil {
+		t.Error("non-square accepted")
+	}
+	a := laplacian1D(4)
+	if _, err := CG(a, []float64{1}, CGOptions{}); err == nil {
+		t.Error("bad RHS length accepted")
+	}
+	// Indefinite matrix: −I.
+	neg, err := sparse.FromDense([][]float64{{-1, 0}, {0, -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CG(neg, []float64{1, 1}, CGOptions{}); err == nil {
+		t.Error("indefinite matrix accepted")
+	}
+	// Zero diagonal with Jacobi.
+	zd, err := sparse.FromDense([][]float64{{0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CG(zd, []float64{1, 1}, CGOptions{Jacobi: true}); err == nil {
+		t.Error("zero diagonal accepted with Jacobi")
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	a := laplacian1D(8)
+	res, err := CG(a, make([]float64, 8), CGOptions{})
+	if err != nil || !res.Converged {
+		t.Fatalf("zero RHS: %v %v", res, err)
+	}
+	for _, v := range res.X {
+		if v != 0 {
+			t.Error("zero RHS should give zero solution")
+		}
+	}
+}
+
+func TestJacobiPreconditionerHelpsIllConditioned(t *testing.T) {
+	// Diagonal scaling spreads the spectrum; Jacobi restores it.
+	n := 128
+	coo := sparse.NewCOO(n, n, false)
+	for i := 0; i < n; i++ {
+		scale := 1.0 + float64(i)*10
+		coo.Add(i, i, 2*scale)
+		if i > 0 {
+			coo.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			coo.Add(i, i+1, -1)
+		}
+	}
+	a, err := coo.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	plain, err := CG(a, b, CGOptions{Tol: 1e-8, MaxIters: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec, err := CG(a, b, CGOptions{Tol: 1e-8, MaxIters: 5000, Jacobi: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prec.Converged {
+		t.Fatal("preconditioned CG did not converge")
+	}
+	if prec.Iterations >= plain.Iterations {
+		t.Errorf("Jacobi did not help: %d vs %d iterations", prec.Iterations, plain.Iterations)
+	}
+}

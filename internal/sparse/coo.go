@@ -1,0 +1,164 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a coordinate-format builder for sparse matrices. Entries may be
+// added in any order; duplicates are summed (or collapsed for patterns) when
+// converting to CSR.
+type COO struct {
+	Rows, Cols int
+	I, J       []int32
+	V          []float64 // nil for pattern-only
+	pattern    bool
+}
+
+// NewCOO returns an empty COO builder for a rows×cols matrix. If pattern is
+// true the builder stores no values and produces a pattern CSR.
+func NewCOO(rows, cols int, pattern bool) *COO {
+	return &COO{Rows: rows, Cols: cols, pattern: pattern}
+}
+
+// Add appends entry (i, j, v). For pattern builders v is ignored.
+func (c *COO) Add(i, j int, v float64) {
+	c.I = append(c.I, int32(i))
+	c.J = append(c.J, int32(j))
+	if !c.pattern {
+		c.V = append(c.V, v)
+	}
+}
+
+// AddPattern appends entry (i, j) with an implicit value of 1.
+func (c *COO) AddPattern(i, j int) { c.Add(i, j, 1) }
+
+// Len returns the number of accumulated (possibly duplicate) entries.
+func (c *COO) Len() int { return len(c.I) }
+
+// ToCSR converts the accumulated entries into a validated CSR matrix,
+// sorting rows and merging duplicates (summing values, or collapsing for
+// pattern builders).
+func (c *COO) ToCSR() (*CSR, error) {
+	for k := range c.I {
+		if c.I[k] < 0 || int(c.I[k]) >= c.Rows || c.J[k] < 0 || int(c.J[k]) >= c.Cols {
+			return nil, fmt.Errorf("%w: entry (%d,%d) outside %dx%d", ErrColIndex, c.I[k], c.J[k], c.Rows, c.Cols)
+		}
+	}
+	n := len(c.I)
+	order := make([]int, n)
+	for k := range order {
+		order[k] = k
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := order[a], order[b]
+		if c.I[ka] != c.I[kb] {
+			return c.I[ka] < c.I[kb]
+		}
+		return c.J[ka] < c.J[kb]
+	})
+
+	rowPtr := make([]int64, c.Rows+1)
+	col := make([]int32, 0, n)
+	var val []float64
+	if !c.pattern {
+		val = make([]float64, 0, n)
+	}
+	for idx := 0; idx < n; {
+		k := order[idx]
+		i, j := c.I[k], c.J[k]
+		sum := 0.0
+		if !c.pattern {
+			sum = c.V[k]
+		}
+		idx++
+		for idx < n {
+			k2 := order[idx]
+			if c.I[k2] != i || c.J[k2] != j {
+				break
+			}
+			if !c.pattern {
+				sum += c.V[k2]
+			}
+			idx++
+		}
+		col = append(col, j)
+		if !c.pattern {
+			val = append(val, sum)
+		}
+		rowPtr[i+1]++
+	}
+	for i := 0; i < c.Rows; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	return NewCSR(c.Rows, c.Cols, rowPtr, col, val)
+}
+
+// FromRows builds a pattern CSR from per-row column lists. Each list is
+// sorted and deduplicated; the input is not modified.
+func FromRows(rows, cols int, rowCols [][]int32) (*CSR, error) {
+	if len(rowCols) != rows {
+		return nil, fmt.Errorf("%w: %d row lists for %d rows", ErrShape, len(rowCols), rows)
+	}
+	rowPtr := make([]int64, rows+1)
+	total := 0
+	for _, r := range rowCols {
+		total += len(r)
+	}
+	col := make([]int32, 0, total)
+	scratch := make([]int32, 0, 64)
+	for i, r := range rowCols {
+		scratch = append(scratch[:0], r...)
+		sort.Slice(scratch, func(a, b int) bool { return scratch[a] < scratch[b] })
+		prev := int32(-1)
+		for _, cix := range scratch {
+			if cix == prev {
+				continue
+			}
+			col = append(col, cix)
+			prev = cix
+		}
+		rowPtr[i+1] = int64(len(col))
+	}
+	return NewCSR(rows, cols, rowPtr, col, nil)
+}
+
+// Dense converts m to a dense row-major matrix. Intended for tests on small
+// matrices only.
+func (m *CSR) Dense() [][]float64 {
+	d := make([][]float64, m.Rows)
+	for i := range d {
+		d[i] = make([]float64, m.Cols)
+		vals := m.RowVals(i)
+		for p, c := range m.Row(i) {
+			if vals == nil {
+				d[i][c] = 1
+			} else {
+				d[i][c] = vals[p]
+			}
+		}
+	}
+	return d
+}
+
+// FromDense builds a CSR from a dense row-major matrix, storing every
+// non-zero entry. Intended for tests.
+func FromDense(d [][]float64) (*CSR, error) {
+	rows := len(d)
+	cols := 0
+	if rows > 0 {
+		cols = len(d[0])
+	}
+	coo := NewCOO(rows, cols, false)
+	for i, r := range d {
+		if len(r) != cols {
+			return nil, fmt.Errorf("%w: ragged dense input", ErrShape)
+		}
+		for j, v := range r {
+			if v != 0 {
+				coo.Add(i, j, v)
+			}
+		}
+	}
+	return coo.ToCSR()
+}

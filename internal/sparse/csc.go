@@ -1,0 +1,92 @@
+package sparse
+
+import "fmt"
+
+// CSC is a sparse matrix in Compressed Sparse Column format. Column j
+// occupies RowIdx[ColPtr[j]:ColPtr[j+1]]. Some accelerator dataflows (the
+// outer product reads A by column) and column-oriented analyses use it; it
+// converts losslessly to and from CSR.
+type CSC struct {
+	Rows, Cols int
+	ColPtr     []int64
+	RowIdx     []int32
+	// Val is parallel to RowIdx; nil denotes a pattern matrix.
+	Val []float64
+}
+
+// ToCSC converts m to CSC form.
+func ToCSC(m *CSR) *CSC {
+	t := Transpose(m)
+	// Transpose of CSR(m) laid out row-major over columns of m is exactly
+	// the CSC arrays of m.
+	return &CSC{
+		Rows: m.Rows, Cols: m.Cols,
+		ColPtr: t.RowPtr, RowIdx: t.Col, Val: t.Val,
+	}
+}
+
+// ToCSR converts c back to CSR form.
+func (c *CSC) ToCSR() *CSR {
+	asRows := &CSR{Rows: c.Cols, Cols: c.Rows, RowPtr: c.ColPtr, Col: c.RowIdx, Val: c.Val}
+	return Transpose(asRows)
+}
+
+// NNZ returns the stored entry count.
+func (c *CSC) NNZ() int64 { return c.ColPtr[c.Cols] }
+
+// Column returns the row indices of column j (a view).
+func (c *CSC) Column(j int) []int32 { return c.RowIdx[c.ColPtr[j]:c.ColPtr[j+1]] }
+
+// ColumnVals returns the values of column j, or nil for a pattern matrix.
+func (c *CSC) ColumnVals(j int) []float64 {
+	if c.Val == nil {
+		return nil
+	}
+	return c.Val[c.ColPtr[j]:c.ColPtr[j+1]]
+}
+
+// ColNNZ returns the number of stored entries in column j.
+func (c *CSC) ColNNZ(j int) int { return int(c.ColPtr[j+1] - c.ColPtr[j]) }
+
+// Validate checks the CSC invariants.
+func (c *CSC) Validate() error {
+	asRows := &CSR{Rows: c.Cols, Cols: c.Rows, RowPtr: c.ColPtr, Col: c.RowIdx, Val: c.Val}
+	if err := asRows.Validate(); err != nil {
+		return fmt.Errorf("sparse: CSC invalid (checked as transposed CSR): %w", err)
+	}
+	return nil
+}
+
+// String summarizes the matrix.
+func (c *CSC) String() string {
+	return fmt.Sprintf("CSC{%dx%d, nnz=%d}", c.Rows, c.Cols, c.NNZ())
+}
+
+// SpMM computes the dense product Y = A·X where X is a row-major
+// A.Cols×p matrix and Y is a row-major A.Rows×p matrix. Pattern matrices
+// use implicit ones. This is the SpMM kernel iterative solvers built on the
+// library would use.
+func SpMM(a *CSR, x []float64, p int, y []float64) error {
+	if p <= 0 || len(x) != a.Cols*p || len(y) != a.Rows*p {
+		return fmt.Errorf("%w: SpMM %dx%d with len(x)=%d p=%d len(y)=%d",
+			ErrDimension, a.Rows, a.Cols, len(x), p, len(y))
+	}
+	for i := 0; i < a.Rows; i++ {
+		yi := y[i*p : (i+1)*p]
+		for t := range yi {
+			yi[t] = 0
+		}
+		vals := a.RowVals(i)
+		for q, c := range a.Row(i) {
+			v := 1.0
+			if vals != nil {
+				v = vals[q]
+			}
+			xc := x[int(c)*p : (int(c)+1)*p]
+			for t := range yi {
+				yi[t] += v * xc[t]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package sparse
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCSCRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := randomValuedCSR(rng, 14, 9, 0.3)
+	c := ToCSC(m)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != m.NNZ() {
+		t.Errorf("nnz %d != %d", c.NNZ(), m.NNZ())
+	}
+	back := c.ToCSR()
+	if !Equal(m, back) {
+		t.Error("CSC round trip mismatch")
+	}
+	// Column access matches the dense view.
+	d := m.Dense()
+	for j := 0; j < m.Cols; j++ {
+		vals := c.ColumnVals(j)
+		for p, i := range c.Column(j) {
+			if d[i][j] != vals[p] {
+				t.Fatalf("column %d entry %d mismatch", j, p)
+			}
+		}
+		nz := 0
+		for i := 0; i < m.Rows; i++ {
+			if d[i][j] != 0 {
+				nz++
+			}
+		}
+		if nz != c.ColNNZ(j) {
+			t.Fatalf("column %d nnz %d, want %d", j, c.ColNNZ(j), nz)
+		}
+	}
+}
+
+func TestCSCPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	m := randomCSR(rng, 10, 10, 0.3)
+	c := ToCSC(m)
+	if c.Val != nil || c.ColumnVals(0) != nil {
+		t.Error("pattern CSC should have nil values")
+	}
+	if !PatternEqual(m, c.ToCSR()) {
+		t.Error("pattern round trip mismatch")
+	}
+}
+
+func TestSpMMAgainstSpMV(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randomValuedCSR(rng, 12, 8, 0.4)
+	const p = 3
+	x := make([]float64, a.Cols*p)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, a.Rows*p)
+	if err := SpMM(a, x, p, y); err != nil {
+		t.Fatal(err)
+	}
+	// Column t of Y must equal A · (column t of X).
+	for tcol := 0; tcol < p; tcol++ {
+		xc := make([]float64, a.Cols)
+		for i := range xc {
+			xc[i] = x[i*p+tcol]
+		}
+		yc := make([]float64, a.Rows)
+		if err := SpMV(a, xc, yc); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < a.Rows; i++ {
+			if math.Abs(y[i*p+tcol]-yc[i]) > 1e-12 {
+				t.Fatalf("SpMM[%d][%d] = %v, SpMV = %v", i, tcol, y[i*p+tcol], yc[i])
+			}
+		}
+	}
+	if err := SpMM(a, x, 0, y); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if err := SpMM(a, x[:1], p, y); err == nil {
+		t.Error("bad x length accepted")
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64, pattern bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var m *CSR
+		if pattern {
+			m = randomCSR(rng, 1+rng.Intn(25), 1+rng.Intn(25), 0.25)
+		} else {
+			m = randomValuedCSR(rng, 1+rng.Intn(25), 1+rng.Intn(25), 0.25)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, m); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return Equal(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	// Truncations at every stage must fail cleanly.
+	rng := rand.New(rand.NewSource(24))
+	m := randomValuedCSR(rng, 10, 10, 0.3)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 2, 4, 8, 20, 29, len(full) / 2, len(full) - 1} {
+		if cut >= len(full) {
+			continue
+		}
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Bad magic.
+	bad := append([]byte("XXXX"), full[4:]...)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte(nil), full...)
+	bad[4] = 99
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Corrupted structure (row pointer garbage) must fail validation.
+	bad = append([]byte(nil), full...)
+	bad[29] = 0xff // first rowPtr byte
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupted rowPtr accepted")
+	}
+}
+
+func TestBinaryEmptyMatrix(t *testing.T) {
+	m := Zero(5, 7)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 5 || got.Cols != 7 || got.NNZ() != 0 {
+		t.Errorf("empty round trip wrong: %v", got)
+	}
+}

@@ -1,0 +1,247 @@
+// Package sparse provides the sparse-matrix substrate used throughout the
+// Bootes reproduction: CSR/COO storage, Gustavson (row-wise product) SpGEMM,
+// transposition, binary similarity matrices, row permutation, pattern
+// statistics, and Matrix Market I/O.
+//
+// Matrices are stored in Compressed Sparse Row (CSR) form with 64-bit row
+// pointers and 32-bit column indices. Values are optional: a nil Val slice
+// denotes a binary pattern matrix, which is the common case in Bootes (the
+// reordering pipeline only ever consumes the sparsity pattern).
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// CSR is a sparse matrix in Compressed Sparse Row format.
+//
+// Row i occupies Col[RowPtr[i]:RowPtr[i+1]] (and the matching region of Val
+// when Val is non-nil). Column indices within a row are kept sorted and
+// unique; NewCSR and the builders enforce this.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int64
+	Col        []int32
+	// Val holds the numeric values, parallel to Col. A nil Val means the
+	// matrix is a pattern (all stored entries implicitly 1.0).
+	Val []float64
+}
+
+// Errors returned by validation and constructors.
+var (
+	ErrShape      = errors.New("sparse: invalid matrix shape")
+	ErrRowPtr     = errors.New("sparse: malformed row pointer array")
+	ErrColIndex   = errors.New("sparse: column index out of range")
+	ErrUnsorted   = errors.New("sparse: column indices not sorted within a row")
+	ErrDuplicate  = errors.New("sparse: duplicate column index within a row")
+	ErrValLength  = errors.New("sparse: value slice length does not match index slice")
+	ErrDimension  = errors.New("sparse: dimension mismatch")
+	ErrPermLength = errors.New("sparse: permutation length does not match row count")
+	ErrPermValue  = errors.New("sparse: permutation is not a bijection")
+)
+
+// NewCSR constructs a CSR matrix and validates its invariants.
+func NewCSR(rows, cols int, rowPtr []int64, col []int32, val []float64) (*CSR, error) {
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: rowPtr, Col: col, Val: val}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Zero returns an empty rows×cols pattern matrix.
+func Zero(rows, cols int) *CSR {
+	return &CSR{Rows: rows, Cols: cols, RowPtr: make([]int64, rows+1)}
+}
+
+// Identity returns the n×n identity pattern matrix (values all 1 if withVal).
+func Identity(n int, withVal bool) *CSR {
+	ptr := make([]int64, n+1)
+	col := make([]int32, n)
+	for i := 0; i < n; i++ {
+		ptr[i+1] = int64(i + 1)
+		col[i] = int32(i)
+	}
+	var val []float64
+	if withVal {
+		val = make([]float64, n)
+		for i := range val {
+			val[i] = 1
+		}
+	}
+	return &CSR{Rows: n, Cols: n, RowPtr: ptr, Col: col, Val: val}
+}
+
+// Validate checks all CSR invariants. It is O(nnz).
+func (m *CSR) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("%w: %dx%d", ErrShape, m.Rows, m.Cols)
+	}
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("%w: len(RowPtr)=%d want %d", ErrRowPtr, len(m.RowPtr), m.Rows+1)
+	}
+	if m.RowPtr[0] != 0 {
+		return fmt.Errorf("%w: RowPtr[0]=%d", ErrRowPtr, m.RowPtr[0])
+	}
+	nnz := m.RowPtr[m.Rows]
+	if int64(len(m.Col)) != nnz {
+		return fmt.Errorf("%w: len(Col)=%d want %d", ErrRowPtr, len(m.Col), nnz)
+	}
+	if m.Val != nil && len(m.Val) != len(m.Col) {
+		return fmt.Errorf("%w: len(Val)=%d len(Col)=%d", ErrValLength, len(m.Val), len(m.Col))
+	}
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		if lo > hi {
+			return fmt.Errorf("%w: row %d has negative extent", ErrRowPtr, i)
+		}
+		if lo < 0 || hi > nnz {
+			return fmt.Errorf("%w: row %d extent [%d,%d) outside [0,%d)", ErrRowPtr, i, lo, hi, nnz)
+		}
+		prev := int32(-1)
+		for p := lo; p < hi; p++ {
+			c := m.Col[p]
+			if c < 0 || int(c) >= m.Cols {
+				return fmt.Errorf("%w: row %d col %d", ErrColIndex, i, c)
+			}
+			if c < prev {
+				return fmt.Errorf("%w: row %d", ErrUnsorted, i)
+			}
+			if c == prev {
+				return fmt.Errorf("%w: row %d col %d", ErrDuplicate, i, c)
+			}
+			prev = c
+		}
+	}
+	return nil
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int64 { return m.RowPtr[m.Rows] }
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *CSR) RowNNZ(i int) int { return int(m.RowPtr[i+1] - m.RowPtr[i]) }
+
+// Row returns the column indices of row i (a view, not a copy).
+func (m *CSR) Row(i int) []int32 { return m.Col[m.RowPtr[i]:m.RowPtr[i+1]] }
+
+// RowVals returns the values of row i, or nil for a pattern matrix.
+func (m *CSR) RowVals(i int) []float64 {
+	if m.Val == nil {
+		return nil
+	}
+	return m.Val[m.RowPtr[i]:m.RowPtr[i+1]]
+}
+
+// Density returns nnz / (rows*cols), or 0 for an empty shape.
+func (m *CSR) Density() float64 {
+	if m.Rows == 0 || m.Cols == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / (float64(m.Rows) * float64(m.Cols))
+}
+
+// IsPattern reports whether the matrix stores only a sparsity pattern.
+func (m *CSR) IsPattern() bool { return m.Val == nil }
+
+// Pattern returns a pattern-only view sharing index storage with m.
+func (m *CSR) Pattern() *CSR {
+	return &CSR{Rows: m.Rows, Cols: m.Cols, RowPtr: m.RowPtr, Col: m.Col}
+}
+
+// Clone returns a deep copy of m.
+func (m *CSR) Clone() *CSR {
+	c := &CSR{Rows: m.Rows, Cols: m.Cols}
+	c.RowPtr = append([]int64(nil), m.RowPtr...)
+	c.Col = append([]int32(nil), m.Col...)
+	if m.Val != nil {
+		c.Val = append([]float64(nil), m.Val...)
+	}
+	return c
+}
+
+// At returns the value at (i, j); 0 if the entry is not stored, 1 for a
+// stored entry of a pattern matrix. It is O(log nnz(row i)).
+func (m *CSR) At(i, j int) float64 {
+	row := m.Row(i)
+	p := sort.Search(len(row), func(k int) bool { return row[k] >= int32(j) })
+	if p == len(row) || row[p] != int32(j) {
+		return 0
+	}
+	if m.Val == nil {
+		return 1
+	}
+	return m.Val[m.RowPtr[i]+int64(p)]
+}
+
+// Has reports whether entry (i, j) is stored.
+func (m *CSR) Has(i, j int) bool {
+	row := m.Row(i)
+	p := sort.Search(len(row), func(k int) bool { return row[k] >= int32(j) })
+	return p < len(row) && row[p] == int32(j)
+}
+
+// ModeledBytes returns the deterministic in-memory size of the matrix data
+// (index and value arrays), used by the memory-footprint accounting in the
+// scalability experiments.
+func (m *CSR) ModeledBytes() int64 {
+	b := int64(len(m.RowPtr))*8 + int64(len(m.Col))*4
+	if m.Val != nil {
+		b += int64(len(m.Val)) * 8
+	}
+	return b
+}
+
+// String summarizes the matrix.
+func (m *CSR) String() string {
+	return fmt.Sprintf("CSR{%dx%d, nnz=%d, density=%.3g}", m.Rows, m.Cols, m.NNZ(), m.Density())
+}
+
+// Equal reports whether a and b have identical shape, pattern and values.
+func Equal(a, b *CSR) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := 0; i <= a.Rows; i++ {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for p := range a.Col {
+		if a.Col[p] != b.Col[p] {
+			return false
+		}
+	}
+	if (a.Val == nil) != (b.Val == nil) {
+		return false
+	}
+	if a.Val != nil {
+		for p := range a.Val {
+			if a.Val[p] != b.Val[p] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PatternEqual reports whether a and b have the same shape and pattern,
+// ignoring values.
+func PatternEqual(a, b *CSR) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := 0; i <= a.Rows; i++ {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for p := range a.Col {
+		if a.Col[p] != b.Col[p] {
+			return false
+		}
+	}
+	return true
+}

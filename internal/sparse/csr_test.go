@@ -1,0 +1,181 @@
+package sparse
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustCSR(t *testing.T, rows, cols int, rowPtr []int64, col []int32, val []float64) *CSR {
+	t.Helper()
+	m, err := NewCSR(rows, cols, rowPtr, col, val)
+	if err != nil {
+		t.Fatalf("NewCSR: %v", err)
+	}
+	return m
+}
+
+// randomCSR builds a valid random pattern matrix for property tests.
+func randomCSR(rng *rand.Rand, rows, cols int, density float64) *CSR {
+	coo := NewCOO(rows, cols, true)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				coo.AddPattern(i, j)
+			}
+		}
+	}
+	m, err := coo.ToCSR()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestNewCSRValid(t *testing.T) {
+	m := mustCSR(t, 3, 4, []int64{0, 2, 2, 3}, []int32{0, 3, 1}, nil)
+	if m.NNZ() != 3 {
+		t.Errorf("NNZ = %d, want 3", m.NNZ())
+	}
+	if m.RowNNZ(0) != 2 || m.RowNNZ(1) != 0 || m.RowNNZ(2) != 1 {
+		t.Errorf("RowNNZ wrong: %d %d %d", m.RowNNZ(0), m.RowNNZ(1), m.RowNNZ(2))
+	}
+	if !m.IsPattern() {
+		t.Error("expected pattern matrix")
+	}
+}
+
+func TestNewCSRErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		rows    int
+		cols    int
+		rowPtr  []int64
+		col     []int32
+		val     []float64
+		wantErr error
+	}{
+		{"badRowPtrLen", 2, 2, []int64{0, 1}, []int32{0}, nil, ErrRowPtr},
+		{"rowPtrNotZero", 2, 2, []int64{1, 1, 1}, []int32{0}, nil, ErrRowPtr},
+		{"colTooBig", 1, 2, []int64{0, 1}, []int32{2}, nil, ErrColIndex},
+		{"colNegative", 1, 2, []int64{0, 1}, []int32{-1}, nil, ErrColIndex},
+		{"unsorted", 1, 3, []int64{0, 2}, []int32{2, 0}, nil, ErrUnsorted},
+		{"duplicate", 1, 3, []int64{0, 2}, []int32{1, 1}, nil, ErrDuplicate},
+		{"valLen", 1, 3, []int64{0, 1}, []int32{1}, []float64{1, 2}, ErrValLength},
+		{"negativeExtent", 2, 2, []int64{0, 1, 0}, []int32{0}, nil, ErrRowPtr},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewCSR(tc.rows, tc.cols, tc.rowPtr, tc.col, tc.val)
+			if !errors.Is(err, tc.wantErr) {
+				t.Errorf("got %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestAtHas(t *testing.T) {
+	m := mustCSR(t, 2, 3, []int64{0, 2, 3}, []int32{0, 2, 1}, []float64{5, 7, -2})
+	if got := m.At(0, 0); got != 5 {
+		t.Errorf("At(0,0) = %v, want 5", got)
+	}
+	if got := m.At(0, 1); got != 0 {
+		t.Errorf("At(0,1) = %v, want 0", got)
+	}
+	if got := m.At(1, 1); got != -2 {
+		t.Errorf("At(1,1) = %v, want -2", got)
+	}
+	if !m.Has(0, 2) || m.Has(1, 2) {
+		t.Error("Has results wrong")
+	}
+	p := m.Pattern()
+	if got := p.At(0, 0); got != 1 {
+		t.Errorf("pattern At(0,0) = %v, want 1", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := mustCSR(t, 2, 2, []int64{0, 1, 2}, []int32{0, 1}, []float64{1, 2})
+	c := m.Clone()
+	c.Val[0] = 99
+	c.Col[1] = 0
+	if m.Val[0] != 1 || m.Col[1] != 1 {
+		t.Error("Clone shares storage with original")
+	}
+	if !Equal(m, m.Clone()) {
+		t.Error("clone should equal original")
+	}
+}
+
+func TestIdentityAndZero(t *testing.T) {
+	id := Identity(4, true)
+	if id.NNZ() != 4 || id.At(2, 2) != 1 || id.At(0, 1) != 0 {
+		t.Error("Identity wrong")
+	}
+	z := Zero(3, 5)
+	if z.NNZ() != 0 || z.Rows != 3 || z.Cols != 5 {
+		t.Error("Zero wrong")
+	}
+	if err := z.Validate(); err != nil {
+		t.Errorf("Zero invalid: %v", err)
+	}
+}
+
+func TestDensity(t *testing.T) {
+	m := mustCSR(t, 2, 2, []int64{0, 1, 2}, []int32{0, 1}, nil)
+	if got := m.Density(); got != 0.5 {
+		t.Errorf("Density = %v, want 0.5", got)
+	}
+	if Zero(0, 0).Density() != 0 {
+		t.Error("empty density should be 0")
+	}
+}
+
+func TestEqualAndPatternEqual(t *testing.T) {
+	a := mustCSR(t, 2, 2, []int64{0, 1, 2}, []int32{0, 1}, []float64{1, 2})
+	b := mustCSR(t, 2, 2, []int64{0, 1, 2}, []int32{0, 1}, []float64{1, 3})
+	if Equal(a, b) {
+		t.Error("different values should not be Equal")
+	}
+	if !PatternEqual(a, b) {
+		t.Error("same pattern should be PatternEqual")
+	}
+	c := mustCSR(t, 2, 2, []int64{0, 1, 2}, []int32{1, 1}, nil)
+	if PatternEqual(a, c) {
+		t.Error("different pattern should not be PatternEqual")
+	}
+}
+
+func TestValidateRandomizedProperty(t *testing.T) {
+	// Every matrix produced by the COO builder must validate.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCSR(rng, 1+rng.Intn(20), 1+rng.Intn(20), 0.3)
+		return m.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModeledBytes(t *testing.T) {
+	m := mustCSR(t, 2, 2, []int64{0, 1, 2}, []int32{0, 1}, []float64{1, 2})
+	want := int64(3*8 + 2*4 + 2*8)
+	if got := m.ModeledBytes(); got != want {
+		t.Errorf("ModeledBytes = %d, want %d", got, want)
+	}
+}
+
+func TestValidateRowPtrOutOfBounds(t *testing.T) {
+	// Regression (found by fuzzing): an intermediate row pointer beyond nnz
+	// must be rejected, not panic during the per-row scan.
+	m := &CSR{Rows: 2, Cols: 4, RowPtr: []int64{0, 5, 4}, Col: []int32{0, 1, 2, 3}}
+	if err := m.Validate(); err == nil {
+		t.Error("out-of-bounds intermediate row pointer accepted")
+	}
+	neg := &CSR{Rows: 2, Cols: 4, RowPtr: []int64{0, -1, 4}, Col: []int32{0, 1, 2, 3}}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative intermediate row pointer accepted")
+	}
+}

@@ -1,0 +1,163 @@
+package sparse
+
+import "fmt"
+
+// Elementwise operations used by downstream consumers of the library
+// (iterative methods, graph analytics, preprocessing pipelines).
+
+// Add returns alpha·a + beta·b for equally-shaped matrices. Pattern inputs
+// contribute implicit ones. Entries that cancel to exactly zero are dropped.
+func Add(a, b *CSR, alpha, beta float64) (*CSR, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, fmt.Errorf("%w: add %dx%d with %dx%d", ErrDimension, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := &CSR{Rows: a.Rows, Cols: a.Cols}
+	out.RowPtr = make([]int64, a.Rows+1)
+	out.Col = make([]int32, 0, a.NNZ()+b.NNZ())
+	out.Val = make([]float64, 0, a.NNZ()+b.NNZ())
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		va, vb := a.RowVals(i), b.RowVals(i)
+		p, q := 0, 0
+		emit := func(c int32, v float64) {
+			if v != 0 {
+				out.Col = append(out.Col, c)
+				out.Val = append(out.Val, v)
+			}
+		}
+		valA := func(k int) float64 {
+			if va == nil {
+				return 1
+			}
+			return va[k]
+		}
+		valB := func(k int) float64 {
+			if vb == nil {
+				return 1
+			}
+			return vb[k]
+		}
+		for p < len(ra) && q < len(rb) {
+			switch {
+			case ra[p] < rb[q]:
+				emit(ra[p], alpha*valA(p))
+				p++
+			case ra[p] > rb[q]:
+				emit(rb[q], beta*valB(q))
+				q++
+			default:
+				emit(ra[p], alpha*valA(p)+beta*valB(q))
+				p++
+				q++
+			}
+		}
+		for ; p < len(ra); p++ {
+			emit(ra[p], alpha*valA(p))
+		}
+		for ; q < len(rb); q++ {
+			emit(rb[q], beta*valB(q))
+		}
+		out.RowPtr[i+1] = int64(len(out.Col))
+	}
+	return out, nil
+}
+
+// Hadamard returns the elementwise product a ∘ b (intersection of patterns).
+func Hadamard(a, b *CSR) (*CSR, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, fmt.Errorf("%w: hadamard %dx%d with %dx%d", ErrDimension, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := &CSR{Rows: a.Rows, Cols: a.Cols}
+	out.RowPtr = make([]int64, a.Rows+1)
+	out.Val = []float64{}
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		va, vb := a.RowVals(i), b.RowVals(i)
+		p, q := 0, 0
+		for p < len(ra) && q < len(rb) {
+			switch {
+			case ra[p] < rb[q]:
+				p++
+			case ra[p] > rb[q]:
+				q++
+			default:
+				x, y := 1.0, 1.0
+				if va != nil {
+					x = va[p]
+				}
+				if vb != nil {
+					y = vb[q]
+				}
+				if v := x * y; v != 0 {
+					out.Col = append(out.Col, ra[p])
+					out.Val = append(out.Val, v)
+				}
+				p++
+				q++
+			}
+		}
+		out.RowPtr[i+1] = int64(len(out.Col))
+	}
+	return out, nil
+}
+
+// ScaleValues returns a copy of m with every stored value multiplied by
+// alpha. Pattern matrices gain explicit values.
+func ScaleValues(m *CSR, alpha float64) *CSR {
+	out := m.Clone()
+	if out.Val == nil {
+		out.Val = make([]float64, len(out.Col))
+		for i := range out.Val {
+			out.Val[i] = 1
+		}
+	}
+	for i := range out.Val {
+		out.Val[i] *= alpha
+	}
+	return out
+}
+
+// Diag returns the main-diagonal entries of m as a dense vector of length
+// min(rows, cols).
+func Diag(m *CSR) []float64 {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = m.At(i, i)
+	}
+	return d
+}
+
+// RowNorms returns the Euclidean norm of each row (pattern entries count 1).
+func RowNorms(m *CSR) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		vals := m.RowVals(i)
+		s := 0.0
+		if vals == nil {
+			s = float64(m.RowNNZ(i))
+		} else {
+			for _, v := range vals {
+				s += v * v
+			}
+		}
+		out[i] = sqrtFloat(s)
+	}
+	return out
+}
+
+// FrobeniusNorm returns ‖m‖_F (pattern entries count 1).
+func FrobeniusNorm(m *CSR) float64 {
+	s := 0.0
+	if m.Val == nil {
+		s = float64(m.NNZ())
+	} else {
+		for _, v := range m.Val {
+			s += v * v
+		}
+	}
+	return sqrtFloat(s)
+}

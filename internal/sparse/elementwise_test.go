@@ -1,0 +1,131 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 15; trial++ {
+		rows, cols := 1+rng.Intn(12), 1+rng.Intn(12)
+		a := randomValuedCSR(rng, rows, cols, 0.4)
+		b := randomValuedCSR(rng, rows, cols, 0.4)
+		alpha, beta := rng.NormFloat64(), rng.NormFloat64()
+		c, err := Add(a, b, alpha, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		da, db, dc := a.Dense(), b.Dense(), c.Dense()
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				want := alpha*da[i][j] + beta*db[i][j]
+				if math.Abs(dc[i][j]-want) > 1e-12 {
+					t.Fatalf("Add[%d][%d] = %v, want %v", i, j, dc[i][j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestAddCancellationDropsEntries(t *testing.T) {
+	a := mustCSR(t, 1, 2, []int64{0, 2}, []int32{0, 1}, []float64{3, 1})
+	c, err := Add(a, a, 1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != 0 {
+		t.Errorf("cancelled sum kept %d entries", c.NNZ())
+	}
+	if _, err := Add(a, Zero(2, 2), 1, 1); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestAddPatternInputs(t *testing.T) {
+	a := mustCSR(t, 1, 3, []int64{0, 2}, []int32{0, 2}, nil)
+	b := mustCSR(t, 1, 3, []int64{0, 2}, []int32{1, 2}, nil)
+	c, err := Add(a, b, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.At(0, 0) != 2 || c.At(0, 1) != 3 || c.At(0, 2) != 5 {
+		t.Errorf("pattern add wrong: %v", c.Dense())
+	}
+}
+
+func TestHadamardAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := randomValuedCSR(rng, 10, 8, 0.4)
+	b := randomValuedCSR(rng, 10, 8, 0.4)
+	c, err := Hadamard(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db, dc := a.Dense(), b.Dense(), c.Dense()
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 8; j++ {
+			if math.Abs(dc[i][j]-da[i][j]*db[i][j]) > 1e-12 {
+				t.Fatalf("Hadamard[%d][%d] wrong", i, j)
+			}
+		}
+	}
+	if _, err := Hadamard(a, Zero(1, 1)); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestScaleDiagNorms(t *testing.T) {
+	m := mustCSR(t, 2, 2, []int64{0, 2, 3}, []int32{0, 1, 1}, []float64{3, 4, 2})
+	s := ScaleValues(m, 2)
+	if s.At(0, 0) != 6 || s.At(1, 1) != 4 {
+		t.Error("ScaleValues wrong")
+	}
+	if m.At(0, 0) != 3 {
+		t.Error("ScaleValues mutated input")
+	}
+	p := ScaleValues(m.Pattern(), 5)
+	if p.At(0, 0) != 5 {
+		t.Error("pattern scale wrong")
+	}
+	d := Diag(m)
+	if len(d) != 2 || d[0] != 3 || d[1] != 2 {
+		t.Errorf("Diag = %v", d)
+	}
+	norms := RowNorms(m)
+	if math.Abs(norms[0]-5) > 1e-12 || math.Abs(norms[1]-2) > 1e-12 {
+		t.Errorf("RowNorms = %v", norms)
+	}
+	if math.Abs(FrobeniusNorm(m)-math.Sqrt(29)) > 1e-12 {
+		t.Errorf("FrobeniusNorm = %v", FrobeniusNorm(m))
+	}
+	if FrobeniusNorm(m.Pattern()) != math.Sqrt(3) {
+		t.Error("pattern Frobenius wrong")
+	}
+}
+
+func TestAddCommutesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(10), 1+rng.Intn(10)
+		a := randomValuedCSR(rng, rows, cols, 0.3)
+		b := randomValuedCSR(rng, rows, cols, 0.3)
+		ab, err := Add(a, b, 1, 1)
+		if err != nil {
+			return false
+		}
+		ba, err := Add(b, a, 1, 1)
+		if err != nil {
+			return false
+		}
+		return Equal(ab, ba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

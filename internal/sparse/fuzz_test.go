@@ -1,0 +1,76 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the two parsers. Run as regular tests on the seed corpus
+// by `go test`; `go test -fuzz FuzzReadMatrixMarket ./internal/sparse` digs
+// deeper.
+
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 1.0\n2 1 2.0\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 9999999\n1 1 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadMatrixMarket(strings.NewReader(input))
+		if err != nil {
+			return // rejecting bad input is fine; crashing is not
+		}
+		// Anything accepted must be a valid matrix that round-trips.
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted invalid matrix: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, m); err != nil {
+			t.Fatalf("cannot re-serialize accepted matrix: %v", err)
+		}
+		back, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			t.Fatalf("cannot re-parse own output: %v", err)
+		}
+		if !Equal(m, back) {
+			t.Fatal("round trip changed the matrix")
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a few valid encodings and mutations.
+	for _, m := range []*CSR{
+		Zero(2, 3),
+		Identity(4, true),
+		Identity(4, false),
+	} {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("BCSR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted invalid matrix: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, m); err != nil {
+			t.Fatalf("cannot re-serialize: %v", err)
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil || !Equal(m, back) {
+			t.Fatal("round trip failed")
+		}
+	})
+}

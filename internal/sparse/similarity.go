@@ -1,0 +1,147 @@
+package sparse
+
+import "sort"
+
+// Similarity computes the row-similarity matrix S = Ā·Āᵀ where Ā is the
+// binary pattern of A. Entry S[i,j] is the number of column coordinates rows
+// i and j share; the diagonal S[i,i] equals nnz(row i). This is the matrix
+// Bootes' spectral clustering operates on (Algorithm 4, line 12).
+//
+// The computation walks A column by column through Aᵀ, so its cost is
+// Σ_j d_j² where d_j is the number of nonzeros in column j of A — the first
+// term of Bootes' complexity in Table 2 of the paper.
+func Similarity(a *CSR) *CSR {
+	return SimilarityCapped(a, 0)
+}
+
+// SimilarityCapped is Similarity with hub-column exclusion: columns whose
+// degree exceeds maxColDegree are skipped. Hub columns (shared variables,
+// boundary conditions, graph super-nodes) connect nearly every row pair, so
+// they both densify S — turning the Σ_j d_j² construction quadratic — and
+// add a near-uniform similarity component that carries no cluster
+// information. Excluding them is the key implementation optimization that
+// keeps S sparse and Bootes linear-scaling. maxColDegree ≤ 0 disables the
+// cap.
+func SimilarityCapped(a *CSR, maxColDegree int) *CSR {
+	ap := a.Pattern()
+	if maxColDegree > 0 {
+		ap = DropHubColumns(ap, maxColDegree)
+	}
+	at := Transpose(ap)
+	s, err := spgemmCount(ap, at)
+	if err != nil {
+		// Dimensions are a·aᵀ by construction; failure is impossible.
+		panic("sparse: internal similarity dimension error: " + err.Error())
+	}
+	return s
+}
+
+// DropHubColumns returns a pattern copy of m with all entries in columns of
+// degree > maxDeg removed.
+func DropHubColumns(m *CSR, maxDeg int) *CSR {
+	counts := ColCounts(m)
+	out := &CSR{Rows: m.Rows, Cols: m.Cols}
+	out.RowPtr = make([]int64, m.Rows+1)
+	out.Col = make([]int32, 0, len(m.Col))
+	for i := 0; i < m.Rows; i++ {
+		for _, c := range m.Row(i) {
+			if counts[c] <= maxDeg {
+				out.Col = append(out.Col, c)
+			}
+		}
+		out.RowPtr[i+1] = int64(len(out.Col))
+	}
+	return out
+}
+
+// HubDegreeThreshold returns the default hub-exclusion threshold for a:
+// several times the mean column degree, floored so tiny matrices keep all
+// columns.
+func HubDegreeThreshold(a *CSR) int {
+	nonEmpty := 0
+	counts := ColCounts(a)
+	total := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonEmpty++
+			total += c
+		}
+	}
+	if nonEmpty == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(nonEmpty)
+	thr := int(8 * mean)
+	if thr < 32 {
+		thr = 32
+	}
+	return thr
+}
+
+// spgemmCount is SpGEMM specialized to binary inputs: the output value is
+// the count of contributing k's, i.e. |row_i(A) ∩ row_j(Aᵀᵀ)| for S=A·Aᵀ.
+func spgemmCount(a, b *CSR) (*CSR, error) {
+	if a.Cols != b.Rows {
+		return nil, ErrDimension
+	}
+	c := &CSR{Rows: a.Rows, Cols: b.Cols}
+	c.RowPtr = make([]int64, a.Rows+1)
+	c.Val = []float64{} // counts are values, even when empty
+	acc := make([]float64, b.Cols)
+	mark := make([]int64, b.Cols)
+	for i := range mark {
+		mark[i] = -1
+	}
+	touched := make([]int32, 0, 256)
+	for i := 0; i < a.Rows; i++ {
+		touched = touched[:0]
+		for _, k := range a.Row(i) {
+			for _, j := range b.Row(int(k)) {
+				if mark[j] != int64(i) {
+					mark[j] = int64(i)
+					acc[j] = 0
+					touched = append(touched, j)
+				}
+				acc[j]++
+			}
+		}
+		sort.Slice(touched, func(x, y int) bool { return touched[x] < touched[y] })
+		for _, j := range touched {
+			c.Col = append(c.Col, j)
+			c.Val = append(c.Val, acc[j])
+		}
+		c.RowPtr[i+1] = int64(len(c.Col))
+	}
+	return c, nil
+}
+
+// IntersectionSize returns |cols(row i) ∩ cols(row j)| for two rows of m,
+// by merging the two sorted index lists.
+func IntersectionSize(m *CSR, i, j int) int {
+	a, b := m.Row(i), m.Row(j)
+	n, p, q := 0, 0, 0
+	for p < len(a) && q < len(b) {
+		switch {
+		case a[p] < b[q]:
+			p++
+		case a[p] > b[q]:
+			q++
+		default:
+			n++
+			p++
+			q++
+		}
+	}
+	return n
+}
+
+// Jaccard returns the Jaccard similarity |∩|/|∪| of the column supports of
+// rows i and j (0 when both rows are empty). Hier's merging criterion.
+func Jaccard(m *CSR, i, j int) float64 {
+	inter := IntersectionSize(m, i, j)
+	union := m.RowNNZ(i) + m.RowNNZ(j) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,160 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// denseMul is the reference O(n³) multiplication.
+func denseMul(a, b [][]float64) [][]float64 {
+	m, k := len(a), len(a[0])
+	n := len(b[0])
+	c := make([][]float64, m)
+	for i := range c {
+		c[i] = make([]float64, n)
+		for kk := 0; kk < k; kk++ {
+			if a[i][kk] == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				c[i][j] += a[i][kk] * b[kk][j]
+			}
+		}
+	}
+	return c
+}
+
+func randomValuedCSR(rng *rand.Rand, rows, cols int, density float64) *CSR {
+	coo := NewCOO(rows, cols, false)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				coo.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	m, err := coo.ToCSR()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestSpGEMMAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		a := randomValuedCSR(rng, m, k, 0.4)
+		b := randomValuedCSR(rng, k, n, 0.4)
+		c, err := SpGEMM(a, b)
+		if err != nil {
+			t.Fatalf("SpGEMM: %v", err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("result invalid: %v", err)
+		}
+		want := denseMul(a.Dense(), b.Dense())
+		got := c.Dense()
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(got[i][j]-want[i][j]) > 1e-9 {
+					t.Fatalf("trial %d: C[%d][%d] = %v, want %v", trial, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestSpGEMMDimensionError(t *testing.T) {
+	a := Zero(2, 3)
+	b := Zero(4, 2)
+	if _, err := SpGEMM(a, b); err == nil {
+		t.Error("expected dimension error")
+	}
+	if _, err := SpGEMMPattern(a, b); err == nil {
+		t.Error("expected dimension error")
+	}
+	if _, err := FlopCount(a, b); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestSpGEMMPatternMatchesValued(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		a := randomCSR(rng, 1+rng.Intn(15), 1+rng.Intn(15), 0.3)
+		b := randomCSR(rng, a.Cols, 1+rng.Intn(15), 0.3)
+		pat, err := SpGEMMPattern(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := SpGEMM(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !PatternEqual(pat, full.Pattern()) {
+			t.Fatalf("trial %d: pattern mismatch", trial)
+		}
+	}
+}
+
+func TestFlopCountMatchesManual(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomCSR(rng, 10, 8, 0.3)
+	b := randomCSR(rng, 8, 12, 0.3)
+	want := int64(0)
+	for i := 0; i < a.Rows; i++ {
+		for _, k := range a.Row(i) {
+			want += int64(b.RowNNZ(int(k)))
+		}
+	}
+	got, err := FlopCount(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("FlopCount = %d, want %d", got, want)
+	}
+}
+
+func TestSpMV(t *testing.T) {
+	a := mustCSR(t, 2, 3, []int64{0, 2, 3}, []int32{0, 2, 1}, []float64{2, 3, 4})
+	x := []float64{1, 10, 100}
+	y := make([]float64, 2)
+	if err := SpMV(a, x, y); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 302 || y[1] != 40 {
+		t.Errorf("SpMV = %v, want [302 40]", y)
+	}
+	// Pattern matrix uses implicit ones.
+	p := a.Pattern()
+	if err := SpMV(p, x, y); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 101 || y[1] != 10 {
+		t.Errorf("pattern SpMV = %v, want [101 10]", y)
+	}
+	if err := SpMV(a, x[:2], y); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestSpGEMMIdentityProperty(t *testing.T) {
+	// A·I = A for random valued matrices.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomValuedCSR(rng, 1+rng.Intn(10), 1+rng.Intn(10), 0.4)
+		id := Identity(a.Cols, true)
+		c, err := SpGEMM(a, id)
+		if err != nil {
+			return false
+		}
+		return Equal(a, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

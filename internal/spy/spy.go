@@ -1,0 +1,128 @@
+// Package spy renders sparsity-pattern ("spy") plots of sparse matrices as
+// ASCII text and binary PGM images. Figures 1 and 2 of the paper are spy
+// plots; the experiment drivers use this package to regenerate them.
+package spy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"bootes/internal/sparse"
+)
+
+// Options controls rendering.
+type Options struct {
+	// Width and Height are the plot dimensions in cells/pixels. 0 selects
+	// 64×32 for ASCII and 256×256 for PGM.
+	Width, Height int
+}
+
+// grid bins matrix entries into a width×height density grid.
+func grid(m *sparse.CSR, width, height int) [][]int {
+	g := make([][]int, height)
+	for i := range g {
+		g[i] = make([]int, width)
+	}
+	if m.Rows == 0 || m.Cols == 0 {
+		return g
+	}
+	for i := 0; i < m.Rows; i++ {
+		r := i * height / m.Rows
+		if r >= height {
+			r = height - 1
+		}
+		for _, c := range m.Row(i) {
+			cc := int(c) * width / m.Cols
+			if cc >= width {
+				cc = width - 1
+			}
+			g[r][cc]++
+		}
+	}
+	return g
+}
+
+// ASCII renders the pattern with density shading (space, ·, +, #).
+func ASCII(m *sparse.CSR, opts Options) string {
+	w, h := opts.Width, opts.Height
+	if w == 0 {
+		w = 64
+	}
+	if h == 0 {
+		h = 32
+	}
+	g := grid(m, w, h)
+	maxCount := 1
+	for _, row := range g {
+		for _, v := range row {
+			if v > maxCount {
+				maxCount = v
+			}
+		}
+	}
+	shades := []byte{' ', '.', '+', '#'}
+	var b strings.Builder
+	b.Grow((w + 3) * (h + 2))
+	b.WriteString("+" + strings.Repeat("-", w) + "+\n")
+	for _, row := range g {
+		b.WriteByte('|')
+		for _, v := range row {
+			idx := 0
+			if v > 0 {
+				// Log-ish shading: any → '.', mid → '+', dense → '#'.
+				switch {
+				case v*4 >= maxCount*3:
+					idx = 3
+				case v*4 >= maxCount:
+					idx = 2
+				default:
+					idx = 1
+				}
+			}
+			b.WriteByte(shades[idx])
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", w) + "+\n")
+	return b.String()
+}
+
+// WritePGM writes the pattern as a binary (P5) PGM image, dark pixels where
+// entries are dense.
+func WritePGM(w io.Writer, m *sparse.CSR, opts Options) error {
+	width, height := opts.Width, opts.Height
+	if width == 0 {
+		width = 256
+	}
+	if height == 0 {
+		height = 256
+	}
+	g := grid(m, width, height)
+	maxCount := 1
+	for _, row := range g {
+		for _, v := range row {
+			if v > maxCount {
+				maxCount = v
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", width, height); err != nil {
+		return err
+	}
+	for _, row := range g {
+		for _, v := range row {
+			// White background, darker with density.
+			shade := 255 - v*255/maxCount
+			if v > 0 && shade > 220 {
+				shade = 220 // ensure isolated entries stay visible
+			}
+			if err := bw.WriteByte(byte(shade)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,87 @@
+package spy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bootes/internal/sparse"
+)
+
+func diag(n int) *sparse.CSR { return sparse.Identity(n, false) }
+
+func TestASCIIDiagonal(t *testing.T) {
+	out := ASCII(diag(64), Options{Width: 8, Height: 8})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("got %d lines, want 10 (8 rows + 2 borders)", len(lines))
+	}
+	// Diagonal cells are marked, off-diagonal are blank.
+	for r := 0; r < 8; r++ {
+		row := lines[r+1]
+		for c := 0; c < 8; c++ {
+			ch := row[c+1]
+			if r == c && ch == ' ' {
+				t.Errorf("diagonal cell (%d,%d) blank", r, c)
+			}
+			if r != c && ch != ' ' {
+				t.Errorf("off-diagonal cell (%d,%d) marked %q", r, c, ch)
+			}
+		}
+	}
+}
+
+func TestASCIIDefaults(t *testing.T) {
+	out := ASCII(diag(10), Options{})
+	if !strings.Contains(out, "+") {
+		t.Error("missing border")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 34 { // 32 rows + 2 borders
+		t.Errorf("default height wrong: %d lines", len(lines))
+	}
+}
+
+func TestASCIIEmptyMatrix(t *testing.T) {
+	out := ASCII(sparse.Zero(0, 0), Options{Width: 4, Height: 4})
+	if !strings.Contains(out, "+----+") {
+		t.Error("empty matrix render broken")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, diag(32), Options{Width: 16, Height: 16}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if !bytes.HasPrefix(data, []byte("P5\n16 16\n255\n")) {
+		t.Fatalf("bad header: %q", data[:20])
+	}
+	pixels := data[len("P5\n16 16\n255\n"):]
+	if len(pixels) != 256 {
+		t.Fatalf("pixel count %d, want 256", len(pixels))
+	}
+	// Diagonal pixels dark(er), off-diagonal white.
+	for r := 0; r < 16; r++ {
+		for c := 0; c < 16; c++ {
+			p := pixels[r*16+c]
+			if r == c && p == 255 {
+				t.Errorf("diagonal pixel (%d,%d) white", r, c)
+			}
+			if r != c && p != 255 {
+				t.Errorf("off-diagonal pixel (%d,%d) = %d", r, c, p)
+			}
+		}
+	}
+}
+
+func TestPGMDefaultSize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, diag(10), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("P5\n256 256\n")) {
+		t.Error("default PGM size wrong")
+	}
+}

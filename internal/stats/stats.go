@@ -1,0 +1,152 @@
+// Package stats provides the small numeric helpers the experiment harness
+// relies on: means, variances, geometric means, and log-log linear fits used
+// to estimate empirical scaling exponents (Table 2).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a statistic of an empty sample is requested.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (0 for fewer than two
+// samples).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// GeoMean returns the geometric mean of xs. All inputs must be positive.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: geometric mean requires positive values")
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs))), nil
+}
+
+// MustGeoMean is GeoMean for callers with statically valid input; it panics
+// on error and exists to keep experiment drivers readable.
+func MustGeoMean(xs []float64) float64 {
+	g, err := GeoMean(xs)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Median returns the median of xs (0 for an empty slice). xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Min returns the minimum of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the maximum of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// LinearFit returns (slope, intercept) of the least-squares line through
+// (x, y) pairs. Used on log-log data to estimate scaling exponents.
+func LinearFit(x, y []float64) (slope, intercept float64, err error) {
+	if len(x) != len(y) {
+		return 0, 0, errors.New("stats: mismatched sample lengths")
+	}
+	if len(x) < 2 {
+		return 0, 0, ErrEmpty
+	}
+	mx, my := Mean(x), Mean(y)
+	var num, den float64
+	for i := range x {
+		num += (x[i] - mx) * (y[i] - my)
+		den += (x[i] - mx) * (x[i] - mx)
+	}
+	if den == 0 {
+		return 0, 0, errors.New("stats: degenerate x values")
+	}
+	slope = num / den
+	intercept = my - slope*mx
+	return slope, intercept, nil
+}
+
+// ScalingExponent fits y ≈ c·xᵅ and returns α, the empirical scaling
+// exponent, by a linear fit in log-log space. All inputs must be positive.
+func ScalingExponent(x, y []float64) (float64, error) {
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if i >= len(y) {
+			break
+		}
+		if x[i] <= 0 || y[i] <= 0 {
+			return 0, errors.New("stats: scaling exponent requires positive samples")
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	slope, _, err := LinearFit(lx, ly)
+	return slope, err
+}

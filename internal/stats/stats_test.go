@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if !approx(Mean(xs), 2.5, 1e-12) {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if !approx(Variance(xs), 1.25, 1e-12) {
+		t.Errorf("Variance = %v", Variance(xs))
+	}
+	if !approx(StdDev(xs), math.Sqrt(1.25), 1e-12) {
+		t.Errorf("StdDev = %v", StdDev(xs))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{5}) != 0 {
+		t.Error("empty/singleton cases wrong")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{2, 8})
+	if err != nil || !approx(g, 4, 1e-12) {
+		t.Errorf("GeoMean = %v, %v", g, err)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty GeoMean accepted")
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Error("negative GeoMean accepted")
+	}
+	if !approx(MustGeoMean([]float64{1, 1, 1}), 1, 1e-12) {
+		t.Error("MustGeoMean wrong")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if !approx(Median([]float64{3, 1, 2}), 2, 1e-12) {
+		t.Error("odd median wrong")
+	}
+	if !approx(Median([]float64{4, 1, 2, 3}), 2.5, 1e-12) {
+		t.Error("even median wrong")
+	}
+	if Median(nil) != 0 {
+		t.Error("empty median wrong")
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Error("Median mutated input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	mn, err := Min([]float64{3, -1, 2})
+	if err != nil || mn != -1 {
+		t.Errorf("Min = %v, %v", mn, err)
+	}
+	mx, err := Max([]float64{3, -1, 2})
+	if err != nil || mx != 3 {
+		t.Errorf("Max = %v, %v", mx, err)
+	}
+	if _, err := Min(nil); err == nil {
+		t.Error("empty Min accepted")
+	}
+	if _, err := Max(nil); err == nil {
+		t.Error("empty Max accepted")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 2x + 1
+	slope, intercept, err := LinearFit(x, y)
+	if err != nil || !approx(slope, 2, 1e-12) || !approx(intercept, 1, 1e-12) {
+		t.Errorf("fit = %v, %v, %v", slope, intercept, err)
+	}
+	if _, _, err := LinearFit(x, y[:2]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := LinearFit([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestScalingExponent(t *testing.T) {
+	// y = 3·x² exactly.
+	x := []float64{1, 2, 4, 8}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 3 * x[i] * x[i]
+	}
+	alpha, err := ScalingExponent(x, y)
+	if err != nil || !approx(alpha, 2, 1e-9) {
+		t.Errorf("alpha = %v, %v", alpha, err)
+	}
+	if _, err := ScalingExponent([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Error("negative input accepted")
+	}
+}
+
+func TestGeoMeanBoundsProperty(t *testing.T) {
+	// Geometric mean lies between min and max of positive samples.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			v := math.Abs(x)
+			if v > 1e-6 && v < 1e6 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g, err := GeoMean(xs)
+		if err != nil {
+			return false
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		return g >= mn-1e-9 && g <= mx+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package unionfind implements a disjoint-set forest with the
+// representative-selection policy used by the Hier baseline (paper
+// Algorithm 3): when two clusters merge, the representative of the larger
+// cluster wins; on equal sizes the smaller row index wins.
+package unionfind
+
+// Forest is a union-find structure over elements 0..n-1.
+type Forest struct {
+	parent []int32
+	size   []int32
+	// rep[root] is the representative row of the cluster rooted at root,
+	// following Hier's policy (not necessarily the root itself).
+	rep      []int32
+	clusters int
+}
+
+// New returns a forest of n singleton clusters, each its own representative.
+func New(n int) *Forest {
+	f := &Forest{
+		parent:   make([]int32, n),
+		size:     make([]int32, n),
+		rep:      make([]int32, n),
+		clusters: n,
+	}
+	for i := 0; i < n; i++ {
+		f.parent[i] = int32(i)
+		f.size[i] = 1
+		f.rep[i] = int32(i)
+	}
+	return f
+}
+
+// Len returns the number of elements.
+func (f *Forest) Len() int { return len(f.parent) }
+
+// Clusters returns the current number of disjoint clusters.
+func (f *Forest) Clusters() int { return f.clusters }
+
+// Find returns the root of x's cluster, with path halving.
+func (f *Forest) Find(x int) int {
+	for int(f.parent[x]) != x {
+		f.parent[x] = f.parent[f.parent[x]]
+		x = int(f.parent[x])
+	}
+	return x
+}
+
+// Same reports whether x and y are in the same cluster.
+func (f *Forest) Same(x, y int) bool { return f.Find(x) == f.Find(y) }
+
+// Size returns the size of x's cluster.
+func (f *Forest) Size(x int) int { return int(f.size[f.Find(x)]) }
+
+// Representative returns the representative row of x's cluster under Hier's
+// policy: representative of the larger merged cluster, smaller index on ties.
+func (f *Forest) Representative(x int) int { return int(f.rep[f.Find(x)]) }
+
+// Union merges the clusters of x and y (smaller into larger) and returns the
+// new root. If already merged it returns the common root.
+func (f *Forest) Union(x, y int) int {
+	rx, ry := f.Find(x), f.Find(y)
+	if rx == ry {
+		return rx
+	}
+	// Merge smaller tree into larger, per Algorithm 3 line 15.
+	if f.size[rx] < f.size[ry] {
+		rx, ry = ry, rx
+	}
+	// Representative policy: larger cluster's representative wins; on equal
+	// sizes the smaller row index wins.
+	newRep := f.rep[rx]
+	if f.size[rx] == f.size[ry] && f.rep[ry] < f.rep[rx] {
+		newRep = f.rep[ry]
+	}
+	f.parent[ry] = int32(rx)
+	f.size[rx] += f.size[ry]
+	f.rep[rx] = newRep
+	f.clusters--
+	return rx
+}
+
+// Groups returns the members of each cluster keyed by root, each group in
+// ascending element order.
+func (f *Forest) Groups() map[int][]int {
+	g := make(map[int][]int)
+	for i := 0; i < len(f.parent); i++ {
+		r := f.Find(i)
+		g[r] = append(g[r], i)
+	}
+	return g
+}
+
+// ModeledBytes returns the deterministic size of the backing arrays.
+func (f *Forest) ModeledBytes() int64 {
+	return int64(len(f.parent))*4 + int64(len(f.size))*4 + int64(len(f.rep))*4
+}

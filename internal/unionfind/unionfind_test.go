@@ -1,0 +1,108 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSingletons(t *testing.T) {
+	f := New(4)
+	if f.Clusters() != 4 {
+		t.Fatalf("Clusters = %d", f.Clusters())
+	}
+	for i := 0; i < 4; i++ {
+		if f.Find(i) != i || f.Representative(i) != i || f.Size(i) != 1 {
+			t.Errorf("element %d not a proper singleton", i)
+		}
+	}
+}
+
+func TestUnionSemantics(t *testing.T) {
+	f := New(6)
+	f.Union(0, 1)
+	if f.Clusters() != 5 || !f.Same(0, 1) || f.Size(0) != 2 {
+		t.Error("union of 0,1 wrong")
+	}
+	// Equal sizes: representative is the smaller row index.
+	if got := f.Representative(1); got != 0 {
+		t.Errorf("representative = %d, want 0", got)
+	}
+	f.Union(2, 3)
+	f.Union(0, 2) // size 2 vs 2 → smaller rep wins = 0
+	if got := f.Representative(3); got != 0 {
+		t.Errorf("representative = %d, want 0", got)
+	}
+	// Larger cluster's representative wins.
+	f.Union(4, 5) // rep 4, size 2
+	f.Union(4, 0) // 0's cluster size 4 > 2 → rep stays 0
+	if got := f.Representative(5); got != 0 {
+		t.Errorf("representative = %d, want 0 (larger cluster wins)", got)
+	}
+	if f.Clusters() != 1 || f.Size(5) != 6 {
+		t.Error("final merge wrong")
+	}
+	// Union of already-merged elements is a no-op.
+	before := f.Clusters()
+	f.Union(1, 5)
+	if f.Clusters() != before {
+		t.Error("redundant union changed cluster count")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	f := New(5)
+	f.Union(0, 2)
+	f.Union(3, 4)
+	g := f.Groups()
+	if len(g) != 3 {
+		t.Fatalf("groups = %d, want 3", len(g))
+	}
+	total := 0
+	for _, members := range g {
+		total += len(members)
+		for i := 1; i < len(members); i++ {
+			if members[i] <= members[i-1] {
+				t.Error("group members not ascending")
+			}
+		}
+	}
+	if total != 5 {
+		t.Errorf("group members total %d, want 5", total)
+	}
+}
+
+func TestInvariantUnderRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	n := 200
+	f := New(n)
+	for step := 0; step < 500; step++ {
+		f.Union(rng.Intn(n), rng.Intn(n))
+	}
+	// Sizes per root must sum to n, and Clusters must match distinct roots.
+	g := f.Groups()
+	if len(g) != f.Clusters() {
+		t.Errorf("Clusters() = %d, distinct roots = %d", f.Clusters(), len(g))
+	}
+	total := 0
+	for root, members := range g {
+		total += len(members)
+		if f.Size(root) != len(members) {
+			t.Errorf("root %d size %d, members %d", root, f.Size(root), len(members))
+		}
+		// Representative must be a member.
+		rep := f.Representative(root)
+		found := false
+		for _, m := range members {
+			if m == rep {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("representative %d not in cluster of root %d", rep, root)
+		}
+	}
+	if total != n {
+		t.Errorf("members total %d, want %d", total, n)
+	}
+}

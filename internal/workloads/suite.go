@@ -1,0 +1,143 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"bootes/internal/sparse"
+)
+
+// Spec describes one matrix of the evaluation suite: the paper's Table 3
+// entry (name, shape, density) plus the archetype our generator uses to
+// reproduce its structure.
+type Spec struct {
+	ID        string // two-letter code from Table 3
+	Name      string
+	Rows      int
+	Cols      int
+	Density   float64
+	Archetype Archetype
+	Groups    int
+	Seed      int64
+}
+
+// Generate builds the matrix at a size scale in (0, 1]. Scale 1 reproduces
+// the Table 3 shape; smaller scales shrink both dimensions proportionally
+// and the mean row population by √scale. That square-root law keeps the two
+// ratios that govern reordering behaviour roughly invariant when the
+// accelerator caches are scaled alongside (see experiments.scaleAccelerator):
+// the referenced-B footprint over cache capacity (whether misses happen at
+// all), and one row group's working set over cache capacity (whether a good
+// ordering can exploit reuse).
+func (s Spec) Generate(scale float64) *sparse.CSR {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	rows := maxInt(16, int(float64(s.Rows)*scale))
+	cols := maxInt(16, int(float64(s.Cols)*scale))
+	density := s.Density
+	if scale < 1 {
+		per := s.Density * float64(s.Cols) * sqrt(scale)
+		if per < 3 {
+			per = 3
+		}
+		density = per / float64(cols)
+		if density > 0.5 {
+			density = 0.5
+		}
+	}
+	return Generate(s.Archetype, Params{
+		Rows: rows, Cols: cols, Density: density,
+		Seed: s.Seed, Groups: s.Groups,
+	})
+}
+
+// String summarizes the spec.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s(%s %dx%d d=%.3g %s)", s.ID, s.Name, s.Rows, s.Cols, s.Density, s.Archetype)
+}
+
+// Table3 returns the evaluation suite mirroring the paper's Table 3. Shapes
+// and densities match the listed values; archetypes are chosen from each
+// matrix's domain (FEM, circuit, graph, LP, ...).
+func Table3() []Spec {
+	return []Spec{
+		{ID: "ET", Name: "EternityII_Etilde", Rows: 10_000, Cols: 204_000, Density: 5.70e-4, Archetype: ArchLP, Groups: 16, Seed: 101},
+		{ID: "PO", Name: "poisson3Da", Rows: 14_000, Cols: 14_000, Density: 1.93e-3, Archetype: ArchFEM3D, Seed: 102},
+		{ID: "IN", Name: "invextr1_new", Rows: 30_000, Cols: 30_000, Density: 1.94e-3, Archetype: ArchScrambledBlock, Groups: 24, Seed: 103},
+		{ID: "MI", Name: "mixtank_new", Rows: 30_000, Cols: 30_000, Density: 2.22e-3, Archetype: ArchScrambledBlock, Groups: 16, Seed: 104},
+		{ID: "CI", Name: "cit-HepPh", Rows: 35_000, Cols: 35_000, Density: 3.53e-4, Archetype: ArchPowerLaw, Seed: 105},
+		{ID: "BC", Name: "bcircuit", Rows: 69_000, Cols: 69_000, Density: 7.91e-5, Archetype: ArchCircuit, Seed: 106},
+		{ID: "CO", Name: "copter2", Rows: 55_000, Cols: 55_000, Density: 2.47e-4, Archetype: ArchFEM3D, Seed: 107},
+		{ID: "NC", Name: "ncvxqp5", Rows: 63_000, Cols: 63_000, Density: 1.09e-4, Archetype: ArchScrambledBlock, Groups: 32, Seed: 108},
+		{ID: "SP", Name: "sparsine", Rows: 50_000, Cols: 50_000, Density: 6.20e-4, Archetype: ArchRandom, Seed: 109},
+		{ID: "RA", Name: "rajat15", Rows: 37_000, Cols: 37_000, Density: 3.19e-4, Archetype: ArchCircuit, Seed: 110},
+		{ID: "K4", Name: "k49_norm_10NN", Rows: 39_000, Cols: 39_000, Density: 4.16e-4, Archetype: ArchKNN, Groups: 49, Seed: 111},
+		{ID: "E4", Name: "e40r0100", Rows: 17_000, Cols: 17_000, Density: 1.85e-3, Archetype: ArchFEM, Seed: 112},
+		{ID: "HE", Name: "helm3d01", Rows: 32_000, Cols: 32_000, Density: 4.13e-4, Archetype: ArchFEM3D, Seed: 113},
+		{ID: "EX", Name: "ex3sta1", Rows: 17_000, Cols: 17_000, Density: 2.41e-3, Archetype: ArchScrambledBlock, Groups: 12, Seed: 114},
+		{ID: "EA", Name: "EAT_RS", Rows: 23_000, Cols: 23_000, Density: 6.04e-4, Archetype: ArchPowerLaw, Seed: 115},
+		{ID: "MA", Name: "Maragal_6", Rows: 21_000, Cols: 10_000, Density: 2.49e-3, Archetype: ArchLP, Groups: 12, Seed: 116},
+		{ID: "VI", Name: "vibrobox", Rows: 12_000, Cols: 12_000, Density: 1.99e-3, Archetype: ArchScrambledBlock, Groups: 8, Seed: 117},
+		{ID: "MS", Name: "msc23052", Rows: 23_000, Cols: 23_000, Density: 2.15e-3, Archetype: ArchFEM, Seed: 118},
+		{ID: "OR", Name: "Oregon-1", Rows: 11_000, Cols: 11_000, Density: 3.55e-4, Archetype: ArchPowerLaw, Seed: 119},
+		{ID: "SH", Name: "ship_001", Rows: 35_000, Cols: 35_000, Density: 3.20e-3, Archetype: ArchFEM3D, Seed: 120},
+		{ID: "SM", Name: "sme3Da", Rows: 13_000, Cols: 13_000, Density: 5.60e-3, Archetype: ArchScrambledBlock, Groups: 10, Seed: 121},
+		{ID: "TO", Name: "tomographic1", Rows: 73_000, Cols: 59_000, Density: 1.49e-4, Archetype: ArchLP, Groups: 24, Seed: 122},
+		{ID: "OL", Name: "olesnik0", Rows: 88_000, Cols: 88_000, Density: 9.55e-5, Archetype: ArchFEM, Seed: 123},
+		{ID: "MR", Name: "mri2", Rows: 63_000, Cols: 147_000, Density: 6.10e-5, Archetype: ArchLP, Groups: 32, Seed: 124},
+		{ID: "DU", Name: "Dubcova2", Rows: 65_000, Cols: 65_000, Density: 2.44e-4, Archetype: ArchFEM, Seed: 125},
+		{ID: "FO", Name: "fome20", Rows: 33_000, Cols: 108_000, Density: 6.35e-5, Archetype: ArchLP, Groups: 20, Seed: 126},
+	}
+}
+
+// ByID returns the Table 3 spec with the given two-letter code.
+func ByID(id string) (Spec, bool) {
+	for _, s := range Table3() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// TrainingCorpus returns a broad labelled-corpus generator set: every
+// archetype at several sizes, mean row populations, and seeds — the stand-in
+// for the paper's 500 SuiteSparse/SNAP matrices used to train the decision
+// tree. Densities are derived from target nonzeros-per-row so that scaling
+// the sizes down preserves per-row structure (and hence the B working set
+// relative to a scaled cache).
+func TrainingCorpus(scale float64) []Spec {
+	var specs []Spec
+	archetypes := []Archetype{
+		ArchScrambledBlock, ArchFEM, ArchPowerLaw, ArchCircuit,
+		ArchLP, ArchKNN, ArchBanded, ArchRandom,
+	}
+	sizes := []int{4096, 8192, 16384}
+	rowNNZs := []float64{8, 24, 64}
+	groupCounts := []int{4, 16}
+	id := 0
+	for _, arch := range archetypes {
+		for _, n := range sizes {
+			for _, per := range rowNNZs {
+				for _, g := range groupCounts {
+					id++
+					rows := maxInt(64, int(float64(n)*scale))
+					specs = append(specs, Spec{
+						ID:        fmt.Sprintf("T%03d", id),
+						Name:      fmt.Sprintf("%s-n%d-p%g-g%d", arch, n, per, g),
+						Rows:      rows,
+						Cols:      rows,
+						Density:   per / float64(rows),
+						Archetype: arch,
+						Groups:    g,
+						Seed:      1000 + int64(id),
+					})
+				}
+			}
+		}
+	}
+	return specs
+}
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }

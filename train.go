@@ -1,0 +1,45 @@
+package bootes
+
+import (
+	"io"
+
+	"bootes/internal/experiments"
+)
+
+// TrainStats summarizes a TrainModel run.
+type TrainStats struct {
+	// CorpusSize is the number of labelled matrices (70/30 train/test).
+	CorpusSize int
+	// TestAccuracy is exact-class accuracy on the held-out set.
+	TestAccuracy float64
+	// GateAccuracy scores the binary reorder/no-reorder decision.
+	GateAccuracy float64
+	// TolerantAccuracy counts predictions whose traffic lands within 5% of
+	// the best action's.
+	TolerantAccuracy float64
+	// ModelBytes is the serialized model size.
+	ModelBytes int64
+}
+
+// TrainModel generates the synthetic labelled corpus (every structural
+// archetype × sizes × densities), labels each matrix by sweeping cluster
+// counts under the traffic model, and trains the decision-tree gate — the
+// reproduction of the paper's §3.2/§5.1 training flow. scale (0, 1] sizes
+// the corpus (0.12 trains in a few minutes); progress may be nil.
+func TrainModel(scale float64, seed int64, progress io.Writer) (*Model, *TrainStats, error) {
+	cfg := experiments.Config{Scale: scale, Seed: seed}
+	if progress != nil {
+		cfg.Out = progress
+	}
+	rep, _, err := cfg.TrainModel()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Model{tree: rep.Model}, &TrainStats{
+		CorpusSize:       rep.TrainSize + rep.TestSize,
+		TestAccuracy:     rep.TestAccuracy,
+		GateAccuracy:     rep.GateAccuracy,
+		TolerantAccuracy: rep.TolerantAccuracy,
+		ModelBytes:       rep.ModelBytes,
+	}, nil
+}
