@@ -1,0 +1,36 @@
+# Development targets for the Bootes reproduction.
+#
+#   make check   — vet + build + full test suite (tier-1 gate)
+#   make race    — race-detector pass over the internal packages, exercising
+#                  the parallel preprocessing paths with a multi-core scheduler
+#   make bench   — the parallel-layer benchmarks behind BENCH_parallel.json
+#   make report  — regenerate the reproduction report at the default scale
+
+GO ?= go
+
+.PHONY: check vet build test race bench report
+
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# GOMAXPROCS is forced above 1 so the race pass schedules real concurrency
+# even on single-core CI runners; the timeout covers the ~10-20x race-detector
+# slowdown of the experiment drivers on such runners.
+race:
+	GOMAXPROCS=4 $(GO) test -race -timeout 45m ./internal/...
+
+bench:
+	$(GO) test ./internal/sparse/ -run XXX -bench 'Similarity|SpMV' -benchtime 10x
+	$(GO) test ./internal/cluster/ -run XXX -bench KMeans -benchtime 10x
+	$(GO) test ./internal/core/ -run XXX -bench 'Eigensolve|Sweep' -benchtime 5x
+
+report:
+	$(GO) run ./cmd/benchsuite -scale 0.12 -jobs 4 -out report.txt

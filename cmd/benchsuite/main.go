@@ -6,7 +6,7 @@
 // Usage:
 //
 //	benchsuite [-scale 0.12] [-seed 1] [-out report.txt] [-only T1,F4,...]
-//	           [-suite IN,PO,...] [-skip-train]
+//	           [-suite IN,PO,...] [-skip-train] [-jobs N]
 package main
 
 import (
@@ -32,6 +32,7 @@ func main() {
 	suite := flag.String("suite", "", "comma-separated Table 3 workload IDs to restrict to")
 	skipTrain := flag.Bool("skip-train", false, "skip decision-tree training (F3 and DT are skipped; Bootes uses its heuristic gate)")
 	figDir := flag.String("figdir", "", "write PGM spy plots for Figures 1-2 into this directory")
+	jobs := flag.Int("jobs", 1, "workload-level parallelism for corpus labelling and Figure 4 (results are identical for any value; see also BOOTES_WORKERS)")
 	flag.Parse()
 
 	var out io.Writer = os.Stdout
@@ -44,7 +45,7 @@ func main() {
 		out = io.MultiWriter(os.Stdout, f)
 	}
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Out: out, FigDir: *figDir}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Out: out, FigDir: *figDir, Jobs: *jobs}
 	if *suite != "" {
 		cfg.SuiteIDs = strings.Split(*suite, ",")
 	}

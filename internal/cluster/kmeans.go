@@ -8,7 +8,16 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"bootes/internal/parallel"
 )
+
+// pointGrain is the fixed point-chunk size of the parallel Lloyd steps. It is
+// never derived from the worker count: per-chunk partial centroid sums are
+// merged in ascending chunk order, so assignments, centroids, and inertia are
+// bit-identical for every worker count (including the forced
+// parallel.Sequential mode).
+const pointGrain = 256
 
 // KMeansOptions configures the Lloyd iteration.
 type KMeansOptions struct {
@@ -62,10 +71,18 @@ func KMeans(points []float64, n, dim int, opts KMeansOptions) (*KMeansResult, er
 	if opts.K <= 0 || opts.K > n {
 		return nil, ErrBadInput
 	}
+	// Restarts are independent (each owns a seed-derived PRNG), so they fan
+	// out across the worker pool; the winner is picked by scanning restarts
+	// in index order with a strict `<`, exactly as the sequential loop did.
+	results := make([]*KMeansResult, opts.Restarts)
+	parallel.For(opts.Restarts, 1, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			rng := rand.New(rand.NewSource(opts.Seed + int64(r)*0x9e3779b9))
+			results[r] = lloyd(points, n, dim, opts, rng)
+		}
+	})
 	var best *KMeansResult
-	for r := 0; r < opts.Restarts; r++ {
-		rng := rand.New(rand.NewSource(opts.Seed + int64(r)*0x9e3779b9))
-		res := lloyd(points, n, dim, opts, rng)
+	for _, res := range results {
 		if best == nil || res.Inertia < best.Inertia {
 			best = res
 		}
@@ -73,44 +90,75 @@ func KMeans(points []float64, n, dim int, opts KMeansOptions) (*KMeansResult, er
 	return best, nil
 }
 
+// assignPartial carries one chunk's contribution to a Lloyd iteration: the
+// partial inertia, per-cluster point counts, and per-cluster coordinate sums.
+type assignPartial struct {
+	inertia float64
+	counts  []int64
+	sums    []float64 // k×dim row-major
+}
+
+// assignChunk runs the fused assignment+accumulation step over points
+// [lo, hi): it writes assign (disjoint per chunk) and returns the chunk's
+// partial sums.
+func assignChunk(points []float64, dim, k int, centers []float64, assign []int32, lo, hi int) assignPartial {
+	p := assignPartial{
+		counts: make([]int64, k),
+		sums:   make([]float64, k*dim),
+	}
+	for i := lo; i < hi; i++ {
+		pt := points[i*dim : (i+1)*dim]
+		bestC, bestD := 0, math.Inf(1)
+		for c := 0; c < k; c++ {
+			d := sqDist(pt, centers[c*dim:(c+1)*dim])
+			if d < bestD {
+				bestD, bestC = d, c
+			}
+		}
+		assign[i] = int32(bestC)
+		p.inertia += bestD
+		p.counts[bestC]++
+		cc := p.sums[bestC*dim : (bestC+1)*dim]
+		for d := 0; d < dim; d++ {
+			cc[d] += pt[d]
+		}
+	}
+	return p
+}
+
+// mergePartials folds chunk partials in ascending chunk order (the order
+// parallel.Reduce guarantees), keeping float summation deterministic.
+func mergePartials(acc, part assignPartial) assignPartial {
+	if acc.counts == nil {
+		return part
+	}
+	acc.inertia += part.inertia
+	for i := range acc.counts {
+		acc.counts[i] += part.counts[i]
+	}
+	for i := range acc.sums {
+		acc.sums[i] += part.sums[i]
+	}
+	return acc
+}
+
 func lloyd(points []float64, n, dim int, opts KMeansOptions, rng *rand.Rand) *KMeansResult {
 	k := opts.K
 	centers := seedPlusPlus(points, n, dim, k, rng)
 	assign := make([]int32, n)
-	counts := make([]int64, k)
 	prevInertia := math.Inf(1)
 	iters := 0
 	for ; iters < opts.MaxIters; iters++ {
-		// Assignment step.
-		inertia := 0.0
-		for i := 0; i < n; i++ {
-			p := points[i*dim : (i+1)*dim]
-			bestC, bestD := 0, math.Inf(1)
-			for c := 0; c < k; c++ {
-				d := sqDist(p, centers[c*dim:(c+1)*dim])
-				if d < bestD {
-					bestD, bestC = d, c
-				}
-			}
-			assign[i] = int32(bestC)
-			inertia += bestD
-		}
-		// Update step.
-		for i := range centers {
-			centers[i] = 0
-		}
-		for i := range counts {
-			counts[i] = 0
-		}
-		for i := 0; i < n; i++ {
-			c := int(assign[i])
-			counts[c]++
-			p := points[i*dim : (i+1)*dim]
-			cc := centers[c*dim : (c+1)*dim]
-			for d := 0; d < dim; d++ {
-				cc[d] += p[d]
-			}
-		}
+		// Fused assignment + accumulation over parallel point chunks; the
+		// chunk-ordered merge keeps the sums deterministic for any worker
+		// count.
+		part := parallel.Reduce(n, pointGrain, assignPartial{},
+			func(lo, hi int) assignPartial {
+				return assignChunk(points, dim, k, centers, assign, lo, hi)
+			}, mergePartials)
+		inertia := part.inertia
+		counts := part.counts
+		copy(centers, part.sums)
 		for c := 0; c < k; c++ {
 			if counts[c] == 0 {
 				// Empty cluster: reseed at the point farthest from its
@@ -141,20 +189,11 @@ func lloyd(points []float64, n, dim int, opts KMeansOptions, rng *rand.Rand) *KM
 		prevInertia = inertia
 	}
 	// Final assignment against the last centers for a consistent result.
-	inertia := 0.0
-	for i := 0; i < n; i++ {
-		p := points[i*dim : (i+1)*dim]
-		bestC, bestD := 0, math.Inf(1)
-		for c := 0; c < k; c++ {
-			d := sqDist(p, centers[c*dim:(c+1)*dim])
-			if d < bestD {
-				bestD, bestC = d, c
-			}
-		}
-		assign[i] = int32(bestC)
-		inertia += bestD
-	}
-	return &KMeansResult{Assign: assign, Centers: centers, Dim: dim, Inertia: inertia, Iters: iters}
+	final := parallel.Reduce(n, pointGrain, assignPartial{},
+		func(lo, hi int) assignPartial {
+			return assignChunk(points, dim, k, centers, assign, lo, hi)
+		}, mergePartials)
+	return &KMeansResult{Assign: assign, Centers: centers, Dim: dim, Inertia: final.inertia, Iters: iters}
 }
 
 // seedPlusPlus implements k-means++ seeding (Arthur & Vassilvitskii).
@@ -163,9 +202,11 @@ func seedPlusPlus(points []float64, n, dim, k int, rng *rand.Rand) []float64 {
 	first := rng.Intn(n)
 	copy(centers[:dim], points[first*dim:(first+1)*dim])
 	dist := make([]float64, n)
-	for i := 0; i < n; i++ {
-		dist[i] = sqDist(points[i*dim:(i+1)*dim], centers[:dim])
-	}
+	parallel.For(n, pointGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dist[i] = sqDist(points[i*dim:(i+1)*dim], centers[:dim])
+		}
+	})
 	for c := 1; c < k; c++ {
 		total := 0.0
 		for _, d := range dist {
@@ -187,12 +228,14 @@ func seedPlusPlus(points []float64, n, dim, k int, rng *rand.Rand) []float64 {
 			}
 		}
 		copy(centers[c*dim:(c+1)*dim], points[pick*dim:(pick+1)*dim])
-		for i := 0; i < n; i++ {
-			d := sqDist(points[i*dim:(i+1)*dim], centers[c*dim:(c+1)*dim])
-			if d < dist[i] {
-				dist[i] = d
+		parallel.For(n, pointGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				d := sqDist(points[i*dim:(i+1)*dim], centers[c*dim:(c+1)*dim])
+				if d < dist[i] {
+					dist[i] = d
+				}
 			}
-		}
+		})
 	}
 	return centers
 }

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"bootes/internal/parallel"
+	"bootes/internal/workloads"
+)
+
+func BenchmarkEigensolve(b *testing.B) {
+	a := workloads.Generate(workloads.ArchScrambledBlock, workloads.Params{
+		Rows: 3000, Cols: 3000, Density: 0.01, Groups: 16, Seed: 9,
+	})
+	for _, w := range []int{1, parallel.Workers()} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := parallel.SetWorkers(w)
+			defer parallel.SetWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				res, err := Spectral{Opts: SpectralOptions{K: 8, Seed: 1}}.Reorder(a)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Perm) != a.Rows {
+					b.Fatal("bad permutation")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSweep(b *testing.B) {
+	a := workloads.Generate(workloads.ArchScrambledBlock, workloads.Params{
+		Rows: 1500, Cols: 1500, Density: 0.012, Groups: 12, Seed: 4,
+	})
+	ks := []int{2, 4, 8, 16, 32}
+	for _, w := range []int{1, parallel.Workers()} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := parallel.SetWorkers(w)
+			defer parallel.SetWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				entries, err := SpectralSweep(a, ks, SpectralOptions{Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(entries) != len(ks) {
+					b.Fatal("bad sweep")
+				}
+			}
+		})
+	}
+}

@@ -80,18 +80,15 @@ func (s Spectral) Reorder(a *sparse.CSR) (*SpectralResult, error) {
 		simBytes   int64
 		degreeWork int64 = int64(n) * 8 * 2 // degrees + inv-sqrt arrays
 	)
-	hub := opts.HubThreshold
-	if hub == 0 {
-		hub = sparse.HubDegreeThreshold(a)
-	} else if hub < 0 {
-		hub = 0 // disable the cap
-	}
+	// Column degrees are walked once and shared between the hub-threshold
+	// heuristic and the hub-dropping pass inside similarity construction.
+	hub, colCounts := resolveHub(a, opts.HubThreshold)
 	if opts.ImplicitSimilarity {
-		impl := eigen.NewImplicitSimilarityCapped(a, hub)
+		impl := eigen.NewImplicitSimilarityCappedWithCounts(a, hub, colCounts)
 		op = impl
 		simBytes = impl.At.ModeledBytes() + int64(n)*8*2 // Āᵀ + two matvec temps
 	} else {
-		sim := sparse.SimilarityCapped(a, hub)
+		sim := sparse.SimilarityCappedWithCounts(a, hub, colCounts)
 		simBytes = sim.ModeledBytes()
 		op = eigen.NewNormalizedSimilarity(sim)
 	}
@@ -167,6 +164,21 @@ func (s Spectral) Reorder(a *sparse.CSR) (*SpectralResult, error) {
 		PreprocessTime: time.Since(start),
 		FootprintBytes: foot + int64(n)*4,
 	}, nil
+}
+
+// resolveHub maps a SpectralOptions.HubThreshold to the effective cap and
+// the column counts backing it (nil when no counts were needed): 0 selects
+// the data-driven default, negative disables capping.
+func resolveHub(a *sparse.CSR, threshold int) (hub int, colCounts []int) {
+	switch {
+	case threshold == 0:
+		colCounts = sparse.ColCounts(a)
+		return sparse.HubDegreeThresholdFromCounts(colCounts), colCounts
+	case threshold < 0:
+		return 0, nil
+	default:
+		return threshold, nil
+	}
 }
 
 // buildEmbedding lays out eigenvectors as row-major point coordinates and

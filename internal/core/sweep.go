@@ -6,6 +6,7 @@ import (
 
 	"bootes/internal/cluster"
 	"bootes/internal/eigen"
+	"bootes/internal/parallel"
 	"bootes/internal/sparse"
 )
 
@@ -41,17 +42,12 @@ func SpectralSweep(a *sparse.CSR, ks []int, opts SpectralOptions) ([]SweepEntry,
 	}
 
 	embedStart := time.Now()
-	hub := opts.HubThreshold
-	if hub == 0 {
-		hub = sparse.HubDegreeThreshold(a)
-	} else if hub < 0 {
-		hub = 0
-	}
+	hub, colCounts := resolveHub(a, opts.HubThreshold)
 	var op eigen.Operator
 	if opts.ImplicitSimilarity {
-		op = eigen.NewImplicitSimilarityCapped(a, hub)
+		op = eigen.NewImplicitSimilarityCappedWithCounts(a, hub, colCounts)
 	} else {
-		op = eigen.NewNormalizedSimilarity(sparse.SimilarityCapped(a, hub))
+		op = eigen.NewNormalizedSimilarity(sparse.SimilarityCappedWithCounts(a, hub, colCounts))
 	}
 	eo := opts.Eigen
 	eo.K = kmax
@@ -73,34 +69,48 @@ func SpectralSweep(a *sparse.CSR, ks []int, opts SpectralOptions) ([]SweepEntry,
 		}
 	}
 
-	entries := make([]SweepEntry, 0, len(ks))
-	for _, k := range ks {
-		kk := k
-		if kk > n {
-			kk = n
+	// Once the shared embedding exists each k's k-means + permutation is
+	// independent, so the per-k work fans out across the worker pool. Each k
+	// seeds its own PRNGs from opts.Seed, so the fan-out is deterministic;
+	// entries are written by index, preserving the ks order.
+	entries := make([]SweepEntry, len(ks))
+	errs := make([]error, len(ks))
+	parallel.For(len(ks), 1, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			k := ks[idx]
+			kk := k
+			if kk > n {
+				kk = n
+			}
+			kmStart := time.Now()
+			sub := make([]float64, n*kk)
+			for i := 0; i < n; i++ {
+				copy(sub[i*kk:(i+1)*kk], full[i*kmax:i*kmax+kk])
+			}
+			normalizeRows(sub, n, kk)
+			ko := opts.KMeans
+			ko.K = kk
+			if ko.Seed == 0 {
+				ko.Seed = opts.Seed + int64(kk)
+			}
+			km, err := cluster.KMeans(sub, n, kk, ko)
+			if err != nil {
+				errs[idx] = err
+				continue
+			}
+			perm := cluster.PermutationFromAssignment(km.Assign, kk, sub, kk, opts.Order)
+			entries[idx] = SweepEntry{
+				K:              k,
+				Perm:           perm,
+				Inertia:        km.Inertia,
+				PreprocessTime: embedTime/time.Duration(len(ks)) + time.Since(kmStart),
+			}
 		}
-		kmStart := time.Now()
-		sub := make([]float64, n*kk)
-		for i := 0; i < n; i++ {
-			copy(sub[i*kk:(i+1)*kk], full[i*kmax:i*kmax+kk])
-		}
-		normalizeRows(sub, n, kk)
-		ko := opts.KMeans
-		ko.K = kk
-		if ko.Seed == 0 {
-			ko.Seed = opts.Seed + int64(kk)
-		}
-		km, err := cluster.KMeans(sub, n, kk, ko)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		perm := cluster.PermutationFromAssignment(km.Assign, kk, sub, kk, opts.Order)
-		entries = append(entries, SweepEntry{
-			K:              k,
-			Perm:           perm,
-			Inertia:        km.Inertia,
-			PreprocessTime: embedTime/time.Duration(len(ks)) + time.Since(kmStart),
-		})
 	}
 	return entries, nil
 }

@@ -12,8 +12,32 @@
 package eigen
 
 import (
+	"bootes/internal/parallel"
 	"bootes/internal/sparse"
 )
+
+// scaleGrain is the fixed chunk size of the parallel element-wise scaling
+// inside the operators. Chunks write disjoint regions, so results are
+// bit-identical for any worker count.
+const scaleGrain = 2048
+
+// mulInto sets dst[i] = x[i]·s[i] over parallel chunks.
+func mulInto(dst, x, s []float64) {
+	parallel.For(len(x), scaleGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = x[i] * s[i]
+		}
+	})
+}
+
+// mulInPlace sets y[i] *= s[i] over parallel chunks.
+func mulInPlace(y, s []float64) {
+	parallel.For(len(y), scaleGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] *= s[i]
+		}
+	})
+}
 
 // Operator is a symmetric linear operator on ℝⁿ.
 type Operator interface {
@@ -71,17 +95,14 @@ func NewNormalizedSimilarity(s *sparse.CSR) *NormalizedSimilarity {
 // Dim returns the operator dimension.
 func (o *NormalizedSimilarity) Dim() int { return o.S.Rows }
 
-// Apply computes y = D^{-1/2} S D^{-1/2} x.
+// Apply computes y = D^{-1/2} S D^{-1/2} x. The scaling and the SpMV inside
+// are row-parallel; >90% of Lanczos time is spent here.
 func (o *NormalizedSimilarity) Apply(x, y []float64) {
-	for i := range x {
-		o.tmp[i] = x[i] * o.InvSqrt[i]
-	}
+	mulInto(o.tmp, x, o.InvSqrt)
 	if err := sparse.SpMV(o.S, o.tmp, y); err != nil {
 		panic("eigen: NormalizedSimilarity dimension mismatch: " + err.Error())
 	}
-	for i := range y {
-		y[i] *= o.InvSqrt[i]
-	}
+	mulInPlace(y, o.InvSqrt)
 }
 
 // ImplicitSimilarity applies M = D^{-1/2}·(Ā·Āᵀ)·D^{-1/2} without forming
@@ -107,9 +128,19 @@ func NewImplicitSimilarity(a *sparse.CSR) *ImplicitSimilarity {
 // before the operator is formed, mirroring sparse.SimilarityCapped.
 // maxColDegree ≤ 0 keeps every column.
 func NewImplicitSimilarityCapped(a *sparse.CSR, maxColDegree int) *ImplicitSimilarity {
+	return NewImplicitSimilarityCappedWithCounts(a, maxColDegree, nil)
+}
+
+// NewImplicitSimilarityCappedWithCounts is NewImplicitSimilarityCapped for
+// callers that already hold ColCounts(a), sparing the hub-dropping step a
+// redundant count walk; nil colCounts are computed on demand.
+func NewImplicitSimilarityCappedWithCounts(a *sparse.CSR, maxColDegree int, colCounts []int) *ImplicitSimilarity {
 	ap := a.Pattern()
 	if maxColDegree > 0 {
-		ap = sparse.DropHubColumns(ap, maxColDegree)
+		if colCounts == nil {
+			colCounts = sparse.ColCounts(ap)
+		}
+		ap = sparse.DropHubColumnsWithCounts(ap, maxColDegree, colCounts)
 	}
 	at := sparse.Transpose(ap)
 	colCount := make([]float64, a.Cols)
@@ -136,18 +167,14 @@ func NewImplicitSimilarityCapped(a *sparse.CSR, maxColDegree int) *ImplicitSimil
 // Dim returns the operator dimension (rows of A).
 func (o *ImplicitSimilarity) Dim() int { return o.A.Rows }
 
-// Apply computes y = D^{-1/2} Ā Āᵀ D^{-1/2} x.
+// Apply computes y = D^{-1/2} Ā Āᵀ D^{-1/2} x via two row-parallel SpMVs.
 func (o *ImplicitSimilarity) Apply(x, y []float64) {
-	for i := range x {
-		o.tmpN[i] = x[i] * o.InvSqrt[i]
-	}
+	mulInto(o.tmpN, x, o.InvSqrt)
 	if err := sparse.SpMV(o.At, o.tmpN, o.tmpK); err != nil {
 		panic("eigen: ImplicitSimilarity dimension mismatch: " + err.Error())
 	}
 	if err := sparse.SpMV(o.A, o.tmpK, y); err != nil {
 		panic("eigen: ImplicitSimilarity dimension mismatch: " + err.Error())
 	}
-	for i := range y {
-		y[i] *= o.InvSqrt[i]
-	}
+	mulInPlace(y, o.InvSqrt)
 }

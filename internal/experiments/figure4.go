@@ -5,6 +5,7 @@ import (
 
 	"bootes/internal/accel"
 	"bootes/internal/chart"
+	"bootes/internal/parallel"
 	"bootes/internal/stats"
 )
 
@@ -50,40 +51,62 @@ func Figure4(c Config) (*Figure4Result, error) {
 	totals := map[string]map[string]map[string]float64{}
 	bOnly := map[string]map[string]map[string]float64{}
 
-	for _, spec := range c.suite() {
-		a := spec.Generate(c.Scale)
-		aOp, bOp := operands(a)
-		// Permutations are accelerator-independent: compute once per method.
-		for _, r := range c.reorderers(aOp) {
-			res, err := r.Reorder(aOp)
-			if err != nil {
-				return nil, err
-			}
-			for _, acfg := range c.Accelerators {
-				scaled := scaleAccelerator(acfg, c.Scale)
-				sim, err := simulateWithPerm(scaled, aOp, bOp, res.Perm)
+	// Each workload's preprocess+simulate chain is independent (generation
+	// and every reorderer are seeded per workload), so workloads fan out
+	// across Config.Jobs workers; cells land in per-workload slices and are
+	// merged in suite order, keeping the result — and the rendered report —
+	// identical to a sequential run.
+	specs := c.suite()
+	cellsByWorkload := make([][]Figure4Cell, len(specs))
+	errs := make([]error, len(specs))
+	parallel.ForWorkers(c.Jobs, len(specs), 1, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			spec := specs[idx]
+			a := spec.Generate(c.Scale)
+			aOp, bOp := operands(a)
+			// Permutations are accelerator-independent: compute once per method.
+			for _, r := range c.reorderers(aOp) {
+				res, err := r.Reorder(aOp)
 				if err != nil {
-					return nil, err
+					errs[idx] = err
+					return
 				}
-				na, nb, nc := sim.NormalizedTraffic()
-				cell := Figure4Cell{
-					Accelerator: acfg.Name,
-					Reorderer:   r.Name(),
-					Workload:    spec.ID,
-					NormA:       na, NormB: nb, NormC: nc,
+				for _, acfg := range c.Accelerators {
+					scaled := scaleAccelerator(acfg, c.Scale)
+					sim, err := simulateWithPerm(scaled, aOp, bOp, res.Perm)
+					if err != nil {
+						errs[idx] = err
+						return
+					}
+					na, nb, nc := sim.NormalizedTraffic()
+					cellsByWorkload[idx] = append(cellsByWorkload[idx], Figure4Cell{
+						Accelerator: acfg.Name,
+						Reorderer:   r.Name(),
+						Workload:    spec.ID,
+						NormA:       na, NormB: nb, NormC: nc,
+					})
 				}
-				out.Cells = append(out.Cells, cell)
-				if totals[acfg.Name] == nil {
-					totals[acfg.Name] = map[string]map[string]float64{}
-					bOnly[acfg.Name] = map[string]map[string]float64{}
-				}
-				if totals[acfg.Name][r.Name()] == nil {
-					totals[acfg.Name][r.Name()] = map[string]float64{}
-					bOnly[acfg.Name][r.Name()] = map[string]float64{}
-				}
-				totals[acfg.Name][r.Name()][spec.ID] = nz(cell.Total())
-				bOnly[acfg.Name][r.Name()][spec.ID] = nz(cell.NormB)
 			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, cells := range cellsByWorkload {
+		for _, cell := range cells {
+			out.Cells = append(out.Cells, cell)
+			if totals[cell.Accelerator] == nil {
+				totals[cell.Accelerator] = map[string]map[string]float64{}
+				bOnly[cell.Accelerator] = map[string]map[string]float64{}
+			}
+			if totals[cell.Accelerator][cell.Reorderer] == nil {
+				totals[cell.Accelerator][cell.Reorderer] = map[string]float64{}
+				bOnly[cell.Accelerator][cell.Reorderer] = map[string]float64{}
+			}
+			totals[cell.Accelerator][cell.Reorderer][cell.Workload] = nz(cell.Total())
+			bOnly[cell.Accelerator][cell.Reorderer][cell.Workload] = nz(cell.NormB)
 		}
 	}
 

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigure4JobsDeterministic is the cmd/benchsuite -jobs smoke path: the
+// workload-parallel Figure 4 run must render byte-identical reports and
+// return identical cells for any jobs count.
+func TestFigure4JobsDeterministic(t *testing.T) {
+	run := func(jobs int) (*Figure4Result, string) {
+		var sb strings.Builder
+		cfg := Config{Scale: 0.05, Seed: 1, Out: &sb, Jobs: jobs, SuiteIDs: []string{"IN", "PO", "BC"}}
+		res, err := Figure4(cfg)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return res, sb.String()
+	}
+	refRes, refOut := run(0)
+	for _, jobs := range []int{2, 4} {
+		res, out := run(jobs)
+		if out != refOut {
+			t.Errorf("jobs=%d: rendered report differs from sequential run", jobs)
+		}
+		if len(res.Cells) != len(refRes.Cells) {
+			t.Fatalf("jobs=%d: %d cells, want %d", jobs, len(res.Cells), len(refRes.Cells))
+		}
+		for i, c := range res.Cells {
+			if c != refRes.Cells[i] {
+				t.Fatalf("jobs=%d: cell %d = %+v, want %+v", jobs, i, c, refRes.Cells[i])
+			}
+		}
+	}
+}
+
+// TestBuildCorpusJobsDeterministic asserts the parallel corpus labelling
+// returns the same labels in the same order as the sequential path.
+func TestBuildCorpusJobsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus labelling is slow")
+	}
+	build := func(jobs int) []LabeledMatrix {
+		cfg := Config{Scale: 0.04, Seed: 1, Jobs: jobs}
+		corpus, err := cfg.BuildCorpus()
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return corpus
+	}
+	ref := build(0)
+	got := build(3)
+	if len(got) != len(ref) {
+		t.Fatalf("corpus sizes differ: %d vs %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i].Spec.ID != ref[i].Spec.ID || got[i].Label != ref[i].Label || got[i].BestGain != ref[i].BestGain {
+			t.Fatalf("entry %d differs: jobs=3 %+v vs sequential %+v", i, got[i], ref[i])
+		}
+	}
+}

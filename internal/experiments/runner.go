@@ -41,6 +41,13 @@ type Config struct {
 	SuiteIDs []string
 	// FigDir, when set, receives PGM renderings of the figure spy plots.
 	FigDir string
+	// Jobs bounds workload-level parallelism inside the drivers (the
+	// benchsuite -jobs flag): each workload's full preprocess+simulate chain
+	// runs as one job. ≤ 1 runs workloads sequentially; per-matrix kernels
+	// still parallelize through internal/parallel either way. Results are
+	// deterministic regardless of Jobs — every job is seeded independently
+	// and outputs are merged in workload order.
+	Jobs int
 }
 
 // WithDefaults fills zero fields.

@@ -9,6 +9,7 @@ import (
 	"bootes/internal/core"
 	"bootes/internal/dtree"
 	"bootes/internal/eigen"
+	"bootes/internal/parallel"
 	"bootes/internal/sparse"
 	"bootes/internal/trafficmodel"
 	"bootes/internal/workloads"
@@ -143,18 +144,31 @@ func looseKMeans() cluster.KMeansOptions {
 	return cluster.KMeansOptions{MaxIters: 25, Restarts: 1, Tol: 1e-4}
 }
 
-// BuildCorpus labels the full training corpus.
+// BuildCorpus labels the full training corpus. Labelling one matrix is
+// independent of every other (generation and the spectral sweep are seeded
+// per spec), so corpus entries fan out across Config.Jobs workers; the
+// returned slice is always in spec order.
 func (c Config) BuildCorpus() ([]LabeledMatrix, error) {
 	c = c.WithDefaults()
 	specs := workloads.TrainingCorpus(c.Scale * 2) // corpus sizes are modest already
-	out := make([]LabeledMatrix, 0, len(specs))
-	for _, spec := range specs {
-		a := spec.Generate(1)
-		lm, err := c.LabelMatrix(spec, a)
-		if err != nil {
-			return nil, fmt.Errorf("labelling %s: %w", spec.ID, err)
+	out := make([]LabeledMatrix, len(specs))
+	errs := make([]error, len(specs))
+	parallel.ForWorkers(c.Jobs, len(specs), 1, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			spec := specs[idx]
+			a := spec.Generate(1)
+			lm, err := c.LabelMatrix(spec, a)
+			if err != nil {
+				errs[idx] = fmt.Errorf("labelling %s: %w", spec.ID, err)
+				continue
+			}
+			out[idx] = lm
 		}
-		out = append(out, lm)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,141 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		for _, n := range []int{0, 1, 7, 64, 1000} {
+			for _, grain := range []int{0, 1, 3, 64, 2000} {
+				prev := SetWorkers(w)
+				hits := make([]int32, n)
+				For(n, grain, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				SetWorkers(prev)
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("w=%d n=%d grain=%d: index %d visited %d times", w, n, grain, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForChunkBoundariesFixed(t *testing.T) {
+	// Chunk boundaries must depend only on (n, grain), not the worker count.
+	collect := func(w int) map[int]int {
+		prev := SetWorkers(w)
+		defer SetWorkers(prev)
+		var mu sync.Mutex
+		bounds := make(map[int]int)
+		For(100, 7, func(lo, hi int) {
+			mu.Lock()
+			bounds[lo] = hi
+			mu.Unlock()
+		})
+		return bounds
+	}
+	ref := collect(1)
+	for _, w := range []int{2, 8} {
+		got := collect(w)
+		if len(got) != len(ref) {
+			t.Fatalf("w=%d: %d chunks, want %d", w, len(got), len(ref))
+		}
+		for lo, hi := range ref {
+			if got[lo] != hi {
+				t.Fatalf("w=%d: chunk [%d,%d), want [%d,%d)", w, lo, got[lo], lo, hi)
+			}
+		}
+	}
+}
+
+func TestReduceDeterministicAcrossWorkers(t *testing.T) {
+	// A float sum whose merge order is fixed must be bit-identical for every
+	// worker count.
+	n := 10000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1.0 / float64(i+1)
+	}
+	sum := func(w int) float64 {
+		prev := SetWorkers(w)
+		defer SetWorkers(prev)
+		return Reduce(n, 128, 0.0,
+			func(lo, hi int) float64 {
+				s := 0.0
+				for i := lo; i < hi; i++ {
+					s += vals[i]
+				}
+				return s
+			},
+			func(acc, part float64) float64 { return acc + part })
+	}
+	ref := sum(1)
+	for _, w := range []int{2, 4, 8} {
+		if got := sum(w); got != ref {
+			t.Fatalf("workers=%d: sum %v != sequential %v", w, got, ref)
+		}
+	}
+}
+
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	var total atomic.Int64
+	For(8, 1, func(lo, hi int) {
+		For(100, 10, func(l, h int) {
+			total.Add(int64(h - l))
+		})
+	})
+	if total.Load() != 800 {
+		t.Fatalf("nested total = %d, want 800", total.Load())
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	For(100, 1, func(lo, hi int) {
+		if lo == 42 {
+			panic("boom")
+		}
+	})
+	t.Fatal("unreachable: For should have panicked")
+}
+
+func TestSequentialForcesOneWorker(t *testing.T) {
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+	restore := Sequential()
+	if Workers() != 1 {
+		t.Fatalf("Workers() = %d under Sequential, want 1", Workers())
+	}
+	restore()
+	if Workers() != 8 {
+		t.Fatalf("Workers() = %d after restore, want 8", Workers())
+	}
+}
+
+func TestSetWorkersRestoresDefault(t *testing.T) {
+	def := Workers()
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", Workers())
+	}
+	SetWorkers(0)
+	if Workers() != def {
+		t.Fatalf("Workers() = %d after reset, want default %d", Workers(), def)
+	}
+}

@@ -1,6 +1,11 @@
 package sparse
 
-import "sort"
+import (
+	"slices"
+	"sync"
+
+	"bootes/internal/parallel"
+)
 
 // Similarity computes the row-similarity matrix S = Ā·Āᵀ where Ā is the
 // binary pattern of A. Entry S[i,j] is the number of column coordinates rows
@@ -23,9 +28,20 @@ func Similarity(a *CSR) *CSR {
 // keeps S sparse and Bootes linear-scaling. maxColDegree ≤ 0 disables the
 // cap.
 func SimilarityCapped(a *CSR, maxColDegree int) *CSR {
+	return SimilarityCappedWithCounts(a, maxColDegree, nil)
+}
+
+// SimilarityCappedWithCounts is SimilarityCapped for callers that already
+// hold ColCounts(a) (the spectral pipeline computes them for the hub
+// threshold); nil colCounts are computed on demand. Values are counted on
+// the pattern of a, so counts of a and of a.Pattern() are interchangeable.
+func SimilarityCappedWithCounts(a *CSR, maxColDegree int, colCounts []int) *CSR {
 	ap := a.Pattern()
 	if maxColDegree > 0 {
-		ap = DropHubColumns(ap, maxColDegree)
+		if colCounts == nil {
+			colCounts = ColCounts(ap)
+		}
+		ap = DropHubColumnsWithCounts(ap, maxColDegree, colCounts)
 	}
 	at := Transpose(ap)
 	s, err := spgemmCount(ap, at)
@@ -39,18 +55,42 @@ func SimilarityCapped(a *CSR, maxColDegree int) *CSR {
 // DropHubColumns returns a pattern copy of m with all entries in columns of
 // degree > maxDeg removed.
 func DropHubColumns(m *CSR, maxDeg int) *CSR {
-	counts := ColCounts(m)
+	return DropHubColumnsWithCounts(m, maxDeg, ColCounts(m))
+}
+
+// DropHubColumnsWithCounts is DropHubColumns with the column degrees already
+// computed, avoiding a redundant ColCounts walk. It counts surviving entries
+// per row first, then fills disjoint pre-sized row regions in parallel.
+func DropHubColumnsWithCounts(m *CSR, maxDeg int, counts []int) *CSR {
 	out := &CSR{Rows: m.Rows, Cols: m.Cols}
 	out.RowPtr = make([]int64, m.Rows+1)
-	out.Col = make([]int32, 0, len(m.Col))
+	keep := make([]int32, m.Rows)
+	parallel.For(m.Rows, rowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			n := int32(0)
+			for _, c := range m.Row(i) {
+				if counts[c] <= maxDeg {
+					n++
+				}
+			}
+			keep[i] = n
+		}
+	})
 	for i := 0; i < m.Rows; i++ {
-		for _, c := range m.Row(i) {
-			if counts[c] <= maxDeg {
-				out.Col = append(out.Col, c)
+		out.RowPtr[i+1] = out.RowPtr[i] + int64(keep[i])
+	}
+	out.Col = make([]int32, out.RowPtr[m.Rows])
+	parallel.For(m.Rows, rowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := out.RowPtr[i]
+			for _, c := range m.Row(i) {
+				if counts[c] <= maxDeg {
+					out.Col[p] = c
+					p++
+				}
 			}
 		}
-		out.RowPtr[i+1] = int64(len(out.Col))
-	}
+	})
 	return out
 }
 
@@ -58,8 +98,14 @@ func DropHubColumns(m *CSR, maxDeg int) *CSR {
 // several times the mean column degree, floored so tiny matrices keep all
 // columns.
 func HubDegreeThreshold(a *CSR) int {
+	return HubDegreeThresholdFromCounts(ColCounts(a))
+}
+
+// HubDegreeThresholdFromCounts is HubDegreeThreshold on precomputed column
+// degrees, letting the pipeline share one ColCounts walk between threshold
+// selection and hub dropping.
+func HubDegreeThresholdFromCounts(counts []int) int {
 	nonEmpty := 0
-	counts := ColCounts(a)
 	total := 0
 	for _, c := range counts {
 		if c > 0 {
@@ -78,8 +124,31 @@ func HubDegreeThreshold(a *CSR) int {
 	return thr
 }
 
+// rowGrain is the fixed row-chunk size of the parallel sparse kernels. It is
+// a constant (never derived from the worker count) so chunk boundaries — and
+// with them every merge order — are identical no matter how many workers run.
+const rowGrain = 64
+
+// spaScratch is the per-worker sparse-accumulator state of spgemmCount. The
+// mark array uses the row index as its stamp, so it never needs re-clearing:
+// each row is processed exactly once per scratch, and a stale stamp from a
+// different row can never equal the current one.
+type spaScratch struct {
+	acc     []float64
+	mark    []int64
+	touched []int32
+}
+
 // spgemmCount is SpGEMM specialized to binary inputs: the output value is
 // the count of contributing k's, i.e. |row_i(A) ∩ row_j(Aᵀᵀ)| for S=A·Aᵀ.
+//
+// It runs two row-parallel passes over Gustavson's algorithm: pass one
+// counts each output row's nnz, a serial prefix sum sizes RowPtr, and pass
+// two recomputes each row's accumulator and writes the sorted indices and
+// counts into its disjoint, pre-sized region of Col/Val. Workers touch
+// disjoint output rows, so the result is bit-identical to the sequential
+// order for any worker count — and the pre-sizing kills the per-row
+// append churn of the old single-pass scheme.
 func spgemmCount(a, b *CSR) (*CSR, error) {
 	if a.Cols != b.Rows {
 		return nil, ErrDimension
@@ -87,31 +156,71 @@ func spgemmCount(a, b *CSR) (*CSR, error) {
 	c := &CSR{Rows: a.Rows, Cols: b.Cols}
 	c.RowPtr = make([]int64, a.Rows+1)
 	c.Val = []float64{} // counts are values, even when empty
-	acc := make([]float64, b.Cols)
-	mark := make([]int64, b.Cols)
-	for i := range mark {
-		mark[i] = -1
-	}
-	touched := make([]int32, 0, 256)
-	for i := 0; i < a.Rows; i++ {
-		touched = touched[:0]
-		for _, k := range a.Row(i) {
-			for _, j := range b.Row(int(k)) {
-				if mark[j] != int64(i) {
-					mark[j] = int64(i)
-					acc[j] = 0
-					touched = append(touched, j)
+
+	scratch := sync.Pool{New: func() any {
+		s := &spaScratch{
+			acc:     make([]float64, b.Cols),
+			mark:    make([]int64, b.Cols),
+			touched: make([]int32, 0, 256),
+		}
+		for i := range s.mark {
+			s.mark[i] = -1
+		}
+		return s
+	}}
+
+	// Pass 1: count nnz per output row (mark-only accumulator walk).
+	rowNNZ := make([]int64, a.Rows)
+	parallel.For(a.Rows, rowGrain, func(lo, hi int) {
+		s := scratch.Get().(*spaScratch)
+		for i := lo; i < hi; i++ {
+			n := int64(0)
+			for _, k := range a.Row(i) {
+				for _, j := range b.Row(int(k)) {
+					if s.mark[j] != int64(i) {
+						s.mark[j] = int64(i)
+						n++
+					}
 				}
-				acc[j]++
+			}
+			rowNNZ[i] = n
+		}
+		scratch.Put(s)
+	})
+	for i := 0; i < a.Rows; i++ {
+		c.RowPtr[i+1] = c.RowPtr[i] + rowNNZ[i]
+	}
+	c.Col = make([]int32, c.RowPtr[a.Rows])
+	c.Val = make([]float64, c.RowPtr[a.Rows])
+
+	// Pass 2: fill each row's pre-sized slice region. Stamps are offset by
+	// a.Rows so they can never collide with a pass-1 stamp (or the -1
+	// initializer) on a reused scratch.
+	parallel.For(a.Rows, rowGrain, func(lo, hi int) {
+		s := scratch.Get().(*spaScratch)
+		for i := lo; i < hi; i++ {
+			stamp := int64(i) + int64(a.Rows)
+			s.touched = s.touched[:0]
+			for _, k := range a.Row(i) {
+				for _, j := range b.Row(int(k)) {
+					if s.mark[j] != stamp {
+						s.mark[j] = stamp
+						s.acc[j] = 0
+						s.touched = append(s.touched, j)
+					}
+					s.acc[j]++
+				}
+			}
+			slices.Sort(s.touched)
+			p := c.RowPtr[i]
+			for _, j := range s.touched {
+				c.Col[p] = j
+				c.Val[p] = s.acc[j]
+				p++
 			}
 		}
-		sort.Slice(touched, func(x, y int) bool { return touched[x] < touched[y] })
-		for _, j := range touched {
-			c.Col = append(c.Col, j)
-			c.Val = append(c.Val, acc[j])
-		}
-		c.RowPtr[i+1] = int64(len(c.Col))
-	}
+		scratch.Put(s)
+	})
 	return c, nil
 }
 

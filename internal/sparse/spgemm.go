@@ -2,7 +2,9 @@ package sparse
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+
+	"bootes/internal/parallel"
 )
 
 // SpGEMM computes C = A·B with Gustavson's row-wise product: for each row i
@@ -49,7 +51,7 @@ func SpGEMM(a, b *CSR) (*CSR, error) {
 				acc[j] += av * bv
 			}
 		}
-		sort.Slice(touched, func(x, y int) bool { return touched[x] < touched[y] })
+		slices.Sort(touched)
 		for _, j := range touched {
 			c.Col = append(c.Col, j)
 			c.Val = append(c.Val, acc[j])
@@ -83,7 +85,7 @@ func SpGEMMPattern(a, b *CSR) (*CSR, error) {
 				}
 			}
 		}
-		sort.Slice(touched, func(x, y int) bool { return touched[x] < touched[y] })
+		slices.Sort(touched)
 		c.Col = append(c.Col, touched...)
 		c.RowPtr[i+1] = int64(len(c.Col))
 	}
@@ -108,26 +110,35 @@ func FlopCount(a, b *CSR) (int64, error) {
 	return flops, nil
 }
 
+// spmvGrain is the fixed row-chunk size of the parallel SpMV. Like rowGrain
+// it is independent of the worker count; each chunk writes a disjoint y
+// region and each y[i] is a self-contained row sum, so the result is
+// bit-identical to the sequential loop for any worker count.
+const spmvGrain = 512
+
 // SpMV computes y = A·x for a dense vector x. Pattern matrices use implicit
-// ones. The result is written into y, which must have length A.Rows.
+// ones. The result is written into y, which must have length A.Rows. Rows
+// are processed in parallel chunks; x and y must not alias.
 func SpMV(a *CSR, x, y []float64) error {
 	if len(x) != a.Cols || len(y) != a.Rows {
 		return fmt.Errorf("%w: SpMV with %dx%d, len(x)=%d len(y)=%d", ErrDimension, a.Rows, a.Cols, len(x), len(y))
 	}
-	for i := 0; i < a.Rows; i++ {
-		sum := 0.0
-		vals := a.RowVals(i)
-		if vals == nil {
-			for _, c := range a.Row(i) {
-				sum += x[c]
+	parallel.For(a.Rows, spmvGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum := 0.0
+			vals := a.RowVals(i)
+			if vals == nil {
+				for _, c := range a.Row(i) {
+					sum += x[c]
+				}
+			} else {
+				row := a.Row(i)
+				for p, c := range row {
+					sum += vals[p] * x[c]
+				}
 			}
-		} else {
-			row := a.Row(i)
-			for p, c := range row {
-				sum += vals[p] * x[c]
-			}
+			y[i] = sum
 		}
-		y[i] = sum
-	}
+	})
 	return nil
 }
