@@ -1,14 +1,18 @@
 # Development targets for the Bootes reproduction.
 #
 #   make check   — vet + build + full test suite (tier-1 gate)
-#   make race    — race-detector pass over the internal packages, exercising
-#                  the parallel preprocessing paths with a multi-core scheduler
+#   make race    — race-detector pass over the root package and the internal
+#                  packages (including the ctx-aware pool and the concurrent
+#                  plan-cancellation stress test), with a multi-core scheduler
+#   make fuzz    — short fuzzing smoke over the sparse-format parsers and the
+#                  CSR constructor (the hostile-input hardening targets)
 #   make bench   — the parallel-layer benchmarks behind BENCH_parallel.json
 #   make report  — regenerate the reproduction report at the default scale
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench report
+.PHONY: check vet build test race fuzz bench report
 
 check: vet build test
 
@@ -25,7 +29,13 @@ test:
 # even on single-core CI runners; the timeout covers the ~10-20x race-detector
 # slowdown of the experiment drivers on such runners.
 race:
-	GOMAXPROCS=4 $(GO) test -race -timeout 45m ./internal/...
+	GOMAXPROCS=4 $(GO) test -race -timeout 45m . ./internal/...
+
+# go accepts one -fuzz pattern per invocation, so each target gets its own.
+fuzz:
+	$(GO) test ./internal/sparse/ -run XXX -fuzz FuzzReadMatrixMarket -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sparse/ -run XXX -fuzz FuzzReadBinary -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sparse/ -run XXX -fuzz FuzzNewCSR -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test ./internal/sparse/ -run XXX -bench 'Similarity|SpMV' -benchtime 10x

@@ -27,9 +27,11 @@
 package bootes
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"bootes/internal/accel"
 	"bootes/internal/core"
@@ -96,6 +98,23 @@ type Options struct {
 	// Seed makes the pipeline deterministic (Lanczos start vectors, k-means
 	// seeding, feature sampling).
 	Seed int64
+	// Budget caps planning resources. The zero value imposes no limits.
+	// Exceeding a cap never fails the plan: the pipeline degrades (cheaper
+	// operator, smaller k, ultimately the identity permutation) and records
+	// the trail in ReorderPlan.Degraded / DegradedReason.
+	Budget Budget
+}
+
+// Budget caps the resources one Plan/PlanContext call may consume.
+type Budget struct {
+	// MaxWallClock bounds planning wall time. On expiry the pipeline returns
+	// an identity plan marked Degraded rather than an error; cancelling the
+	// PlanContext context is still reported as ctx.Err().
+	MaxWallClock time.Duration
+	// MaxFootprintBytes bounds the modeled peak planning memory. Candidate
+	// configurations whose upper-bound estimate exceeds it are skipped
+	// before any similarity storage is allocated.
+	MaxFootprintBytes int64
 }
 
 // CandidateKs are the cluster counts the pipeline chooses between.
@@ -114,11 +133,30 @@ type ReorderPlan struct {
 	PreprocessSeconds float64
 	// FootprintBytes is the modeled peak preprocessing memory.
 	FootprintBytes int64
+	// Degraded reports that planning could not run its preferred
+	// configuration and fell down the degradation ladder (lower-memory
+	// operator, retried eigensolve, fixed small k, or identity). The plan is
+	// still valid. DegradedReason records the trail.
+	Degraded bool
+	// DegradedReason is empty when Degraded is false.
+	DegradedReason string
 }
 
 // Plan runs the Bootes pipeline on m: extract features, consult the gate,
-// and spectrally cluster if advised. opts may be nil for defaults.
+// and spectrally cluster if advised. opts may be nil for defaults. Plan is
+// PlanContext with a background context.
 func Plan(m *Matrix, opts *Options) (*ReorderPlan, error) {
+	return PlanContext(context.Background(), m, opts)
+}
+
+// PlanContext is Plan with cooperative cancellation: the context is threaded
+// through every phase (similarity construction, each Lanczos iteration, each
+// k-means restart and iteration, every parallel chunk launch), so cancelling
+// it makes planning return ctx.Err() promptly. A context that is already done
+// returns before any similarity storage is allocated. Budgets and internal
+// faults never surface as errors — they degrade the plan instead (see
+// Options.Budget and ReorderPlan.Degraded).
+func PlanContext(ctx context.Context, m *Matrix, opts *Options) (*ReorderPlan, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -127,11 +165,15 @@ func Plan(m *Matrix, opts *Options) (*ReorderPlan, error) {
 		Spectral:     core.SpectralOptions{Seed: o.Seed, ImplicitSimilarity: o.ImplicitSimilarity},
 		ForceReorder: o.ForceReorder,
 		ForceK:       o.ForceK,
+		Budget: core.Budget{
+			MaxWallClock:      o.Budget.MaxWallClock,
+			MaxFootprintBytes: o.Budget.MaxFootprintBytes,
+		},
 	}
 	if o.Model != nil {
 		p.Model = o.Model.tree
 	}
-	res, err := p.Reorder(m)
+	res, err := p.ReorderContext(ctx, m)
 	if err != nil {
 		return nil, err
 	}
@@ -141,6 +183,8 @@ func Plan(m *Matrix, opts *Options) (*ReorderPlan, error) {
 		K:                 int(res.Extra["k"]),
 		PreprocessSeconds: res.PreprocessTime.Seconds(),
 		FootprintBytes:    res.FootprintBytes,
+		Degraded:          res.Degraded,
+		DegradedReason:    res.DegradedReason,
 	}, nil
 }
 

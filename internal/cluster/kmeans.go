@@ -4,6 +4,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -64,6 +65,13 @@ var ErrBadInput = errors.New("cluster: invalid k-means input")
 // KMeans clusters n points of dimension dim, given row-major points
 // (len n*dim), into opts.K clusters.
 func KMeans(points []float64, n, dim int, opts KMeansOptions) (*KMeansResult, error) {
+	return KMeansContext(context.Background(), points, n, dim, opts)
+}
+
+// KMeansContext is KMeans with cooperative cancellation: the context is
+// checked before each restart and once per Lloyd iteration, so a cancelled
+// clustering returns ctx.Err() within one iteration of the cancellation.
+func KMeansContext(ctx context.Context, points []float64, n, dim int, opts KMeansOptions) (*KMeansResult, error) {
 	if n <= 0 || dim <= 0 || len(points) != n*dim {
 		return nil, ErrBadInput
 	}
@@ -71,18 +79,34 @@ func KMeans(points []float64, n, dim int, opts KMeansOptions) (*KMeansResult, er
 	if opts.K <= 0 || opts.K > n {
 		return nil, ErrBadInput
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Restarts are independent (each owns a seed-derived PRNG), so they fan
 	// out across the worker pool; the winner is picked by scanning restarts
 	// in index order with a strict `<`, exactly as the sequential loop did.
 	results := make([]*KMeansResult, opts.Restarts)
-	parallel.For(opts.Restarts, 1, func(lo, hi int) {
+	if err := parallel.ForContext(ctx, opts.Restarts, 1, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
+			if ctx.Err() != nil {
+				return
+			}
 			rng := rand.New(rand.NewSource(opts.Seed + int64(r)*0x9e3779b9))
-			results[r] = lloyd(points, n, dim, opts, rng)
+			results[r] = lloyd(ctx, points, n, dim, opts, rng)
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	var best *KMeansResult
 	for _, res := range results {
+		if res == nil {
+			// A restart was abandoned mid-flight; only possible when the
+			// context fired between the ForContext return and its chunks.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, errors.New("cluster: k-means restart produced no result")
+		}
 		if best == nil || res.Inertia < best.Inertia {
 			best = res
 		}
@@ -142,13 +166,19 @@ func mergePartials(acc, part assignPartial) assignPartial {
 	return acc
 }
 
-func lloyd(points []float64, n, dim int, opts KMeansOptions, rng *rand.Rand) *KMeansResult {
+// lloyd runs one k-means++-seeded Lloyd iteration to convergence. It
+// returns nil when ctx fires mid-run (checked once per iteration); callers
+// must treat a nil result as cancellation.
+func lloyd(ctx context.Context, points []float64, n, dim int, opts KMeansOptions, rng *rand.Rand) *KMeansResult {
 	k := opts.K
 	centers := seedPlusPlus(points, n, dim, k, rng)
 	assign := make([]int32, n)
 	prevInertia := math.Inf(1)
 	iters := 0
 	for ; iters < opts.MaxIters; iters++ {
+		if ctx.Err() != nil {
+			return nil
+		}
 		// Fused assignment + accumulation over parallel point chunks; the
 		// chunk-ordered merge keeps the sums deterministic for any worker
 		// count.

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"time"
+
+	"bootes/internal/faultinject"
+	"bootes/internal/sparse"
+)
+
+// Budget caps the resources one planning pass may consume. The zero value
+// imposes no limits. Budgets never cause planning to fail: exceeding one
+// makes the pipeline fall down its degradation ladder (lower-memory operator
+// first, identity last) and record why in the result.
+type Budget struct {
+	// MaxWallClock bounds the planning wall time. When it expires the
+	// pipeline abandons in-flight work cooperatively and returns an identity
+	// plan marked Degraded, rather than an error: the caller's own context
+	// still distinguishes genuine cancellation.
+	MaxWallClock time.Duration
+	// MaxFootprintBytes bounds the modeled peak host memory of the spectral
+	// pass. Candidate configurations whose upper-bound estimate exceeds it
+	// are skipped *before* any similarity storage is allocated.
+	MaxFootprintBytes int64
+}
+
+// memoryExceeded reports whether a configuration with the given modeled
+// footprint estimate must be skipped. The fault-injection point lets tests
+// force a breach without constructing a matrix that genuinely blows a cap.
+func (b Budget) memoryExceeded(estimate int64) bool {
+	if faultinject.Fire(faultinject.AllocCapBreach) {
+		return true
+	}
+	return b.MaxFootprintBytes > 0 && estimate > b.MaxFootprintBytes
+}
+
+// estimateSpectralFootprint upper-bounds the peak modeled bytes of one
+// spectral pass over a with the given options, using only column degrees —
+// nothing is allocated. It mirrors the footprint model in
+// Spectral.ReorderContext but replaces the exact nnz(S) (known only after
+// construction) with the degree-sum bound from sparse.EstimateSimilarityNNZ,
+// so the estimate is always ≥ the realized footprint of the similarity phase.
+func estimateSpectralFootprint(a *sparse.CSR, opts SpectralOptions) int64 {
+	n := a.Rows
+	if n == 0 {
+		return 0
+	}
+	k := opts.K
+	if k > n {
+		k = n
+	}
+	hub, colCounts := resolveHub(a, opts.HubThreshold)
+
+	var simBytes int64
+	if opts.ImplicitSimilarity {
+		// Āᵀ (row pointers + indices + values) plus two matvec temporaries.
+		simBytes = int64(a.Cols+1)*8 + a.NNZ()*(4+8) + int64(n)*8*2
+	} else {
+		nnz := sparse.EstimateSimilarityNNZ(a, hub, colCounts)
+		simBytes = int64(n+1)*8 + nnz*(4+8)
+	}
+
+	maxBasis := opts.Eigen.MaxBasis
+	if maxBasis == 0 {
+		maxBasis = 2*k + 16
+		if maxBasis < 48 {
+			maxBasis = 48
+		}
+	}
+	degreeWork := int64(n) * 8 * 2
+	basisBytes := int64(maxBasis+1) * int64(n) * 8
+	eigPhase := simBytes + degreeWork + basisBytes
+	kmPhase := int64(n)*int64(k)*8 + int64(n)*4 + int64(k*k)*8
+	foot := eigPhase
+	if kmPhase > foot {
+		foot = kmPhase
+	}
+	return foot + int64(n)*4
+}

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"time"
 
 	"bootes/internal/dtree"
 	"bootes/internal/reorder"
@@ -57,6 +57,10 @@ type Pipeline struct {
 	ForceReorder bool
 	// ForceK overrides the predicted cluster count when > 0.
 	ForceK int
+	// Budget caps planning resources (wall clock, modeled peak memory). The
+	// zero value imposes no limits; exceeding a cap degrades the plan (see
+	// ReorderContext) rather than failing it.
+	Budget Budget
 }
 
 // Name implements reorder.Reorderer.
@@ -100,57 +104,12 @@ func heuristicLabel(a *sparse.CSR, f Features) int {
 	return label
 }
 
-// Reorder implements reorder.Reorderer: gate, then spectrally reorder.
+// Reorder implements reorder.Reorderer: gate, then spectrally reorder. It is
+// ReorderContext (degrade.go) with a background context — the same ladder and
+// panic containment apply, and with no faults and a zero Budget the result is
+// bit-identical to the pre-ladder pipeline.
 func (p *Pipeline) Reorder(a *sparse.CSR) (*reorder.Result, error) {
-	start := time.Now()
-	label, feats, err := p.Decide(a)
-	if err != nil {
-		return nil, err
-	}
-	k, err := KForLabel(label)
-	if err != nil {
-		return nil, err
-	}
-	if p.ForceK > 0 {
-		k = p.ForceK
-	} else if p.ForceReorder && k == 0 {
-		k = CandidateKs[len(CandidateKs)/2]
-	}
-
-	if k == 0 && !p.ForceReorder {
-		// Gate says no: identity permutation, near-zero cost.
-		return &reorder.Result{
-			Perm:           sparse.IdentityPerm(a.Rows),
-			PreprocessTime: time.Since(start),
-			FootprintBytes: int64(a.Rows)*4 + modelBytes(p.Model),
-			Reordered:      false,
-			Extra: map[string]float64{
-				"k":        0,
-				"decision": float64(label),
-				"interAvg": feats.InterAvg,
-			},
-		}, nil
-	}
-
-	opts := p.Spectral
-	opts.K = k
-	sr, err := Spectral{Opts: opts}.Reorder(a)
-	if err != nil {
-		return nil, err
-	}
-	return &reorder.Result{
-		Perm:           sr.Perm,
-		PreprocessTime: time.Since(start),
-		FootprintBytes: sr.FootprintBytes + modelBytes(p.Model),
-		Reordered:      !sr.Perm.IsIdentity(),
-		Extra: map[string]float64{
-			"k":           float64(k),
-			"decision":    float64(label),
-			"matvecs":     float64(sr.MatVecs),
-			"kmeansIters": float64(sr.KMeansIters),
-			"interAvg":    feats.InterAvg,
-		},
-	}, nil
+	return p.ReorderContext(context.Background(), a)
 }
 
 func modelBytes(t *dtree.Tree) int64 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -44,9 +45,16 @@ func (r Recursive) Name() string { return fmt.Sprintf("BootesRec(k=%d)", r.withD
 
 // Reorder implements reorder.Reorderer.
 func (r Recursive) Reorder(a *sparse.CSR) (*reorder.Result, error) {
+	return r.ReorderContext(context.Background(), a)
+}
+
+// ReorderContext is Reorder with cooperative cancellation: the context is
+// checked at every recursion node (and inside each node's spectral pass), so
+// a cancelled recursion abandons unexplored subtrees and returns ctx.Err().
+func (r Recursive) ReorderContext(ctx context.Context, a *sparse.CSR) (*reorder.Result, error) {
 	r = r.withDefaults()
 	start := time.Now()
-	perm, foot, err := r.reorderRows(a, 0)
+	perm, foot, err := r.reorderRows(ctx, a, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -65,14 +73,17 @@ func (r Recursive) Reorder(a *sparse.CSR) (*reorder.Result, error) {
 // reorderRows reorders a (which may be a submatrix view) and recurses into
 // oversized clusters. It returns a permutation over a's rows and the peak
 // modeled footprint seen in the subtree.
-func (r Recursive) reorderRows(a *sparse.CSR, depth int) (sparse.Permutation, int64, error) {
+func (r Recursive) reorderRows(ctx context.Context, a *sparse.CSR, depth int) (sparse.Permutation, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	n := a.Rows
 	if n <= r.MaxClusterRows || depth >= r.MaxDepth || n < 2*r.K {
 		return sparse.IdentityPerm(n), int64(n) * 4, nil
 	}
 	opts := r.Opts
 	opts.K = r.K
-	sr, err := Spectral{Opts: opts}.Reorder(a)
+	sr, err := Spectral{Opts: opts}.ReorderContext(ctx, a)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -96,7 +107,7 @@ func (r Recursive) reorderRows(a *sparse.CSR, depth int) (sparse.Permutation, in
 			if err != nil {
 				return nil, 0, err
 			}
-			subPerm, subFoot, err := r.reorderRows(sub, depth+1)
+			subPerm, subFoot, err := r.reorderRows(ctx, sub, depth+1)
 			if err != nil {
 				return nil, 0, err
 			}

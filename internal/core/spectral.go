@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -58,10 +59,21 @@ func (s Spectral) Name() string { return fmt.Sprintf("Spectral(k=%d)", s.Opts.K)
 // Reorder runs Algorithm 4: similarity matrix → normalized Laplacian →
 // top-k eigenvectors → k-means → cluster-grouped permutation.
 func (s Spectral) Reorder(a *sparse.CSR) (*SpectralResult, error) {
+	return s.ReorderContext(context.Background(), a)
+}
+
+// ReorderContext is Reorder with cooperative cancellation, threaded through
+// every phase: similarity construction (per chunk), Lanczos (per matvec) and
+// k-means (per restart and iteration). A context that is already done
+// returns ctx.Err() before any similarity storage is allocated.
+func (s Spectral) ReorderContext(ctx context.Context, a *sparse.CSR) (*SpectralResult, error) {
 	start := time.Now()
 	opts := s.Opts
 	if opts.K < 2 {
 		return nil, ErrBadK
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	n := a.Rows
 	if n == 0 {
@@ -88,7 +100,10 @@ func (s Spectral) Reorder(a *sparse.CSR) (*SpectralResult, error) {
 		op = impl
 		simBytes = impl.At.ModeledBytes() + int64(n)*8*2 // Āᵀ + two matvec temps
 	} else {
-		sim := sparse.SimilarityCappedWithCounts(a, hub, colCounts)
+		sim, err := sparse.SimilarityContext(ctx, a, hub, colCounts)
+		if err != nil {
+			return nil, err
+		}
 		simBytes = sim.ModeledBytes()
 		op = eigen.NewNormalizedSimilarity(sim)
 	}
@@ -113,8 +128,11 @@ func (s Spectral) Reorder(a *sparse.CSR) (*SpectralResult, error) {
 			eo.MaxBasis = 48
 		}
 	}
-	res, err := eigen.Largest(op, eo)
+	res, err := eigen.LargestContext(ctx, op, eo)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("core: eigensolve failed: %w", err)
 	}
 
@@ -134,8 +152,11 @@ func (s Spectral) Reorder(a *sparse.CSR) (*SpectralResult, error) {
 	if ko.Restarts == 0 {
 		ko.Restarts = 2
 	}
-	km, err := cluster.KMeans(embedding, n, k, ko)
+	km, err := cluster.KMeansContext(ctx, embedding, n, k, ko)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("core: k-means failed: %w", err)
 	}
 	perm := cluster.PermutationFromAssignment(km.Assign, k, embedding, k, opts.Order)

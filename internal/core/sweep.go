@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"time"
 
 	"bootes/internal/cluster"
 	"bootes/internal/eigen"
+	"bootes/internal/faultinject"
 	"bootes/internal/parallel"
 	"bootes/internal/sparse"
 )
@@ -24,8 +26,19 @@ type SweepEntry struct {
 // prefix is exactly the k-dimensional spectral embedding). This is how the
 // decision-tree labeller and the Figure 3 sweep keep 5 k-values affordable.
 func SpectralSweep(a *sparse.CSR, ks []int, opts SpectralOptions) ([]SweepEntry, error) {
+	return SpectralSweepContext(context.Background(), a, ks, opts)
+}
+
+// SpectralSweepContext is SpectralSweep with cooperative cancellation: the
+// context is consulted before the shared eigensolve, inside it per matvec,
+// and again before each k's k-means, so a sweep cancelled mid-flight stops
+// launching per-k work and returns ctx.Err() promptly.
+func SpectralSweepContext(ctx context.Context, a *sparse.CSR, ks []int, opts SpectralOptions) ([]SweepEntry, error) {
 	if len(ks) == 0 {
 		return nil, errors.New("core: empty k list")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	n := a.Rows
 	kmax := 0
@@ -47,14 +60,18 @@ func SpectralSweep(a *sparse.CSR, ks []int, opts SpectralOptions) ([]SweepEntry,
 	if opts.ImplicitSimilarity {
 		op = eigen.NewImplicitSimilarityCappedWithCounts(a, hub, colCounts)
 	} else {
-		op = eigen.NewNormalizedSimilarity(sparse.SimilarityCappedWithCounts(a, hub, colCounts))
+		sim, err := sparse.SimilarityContext(ctx, a, hub, colCounts)
+		if err != nil {
+			return nil, err
+		}
+		op = eigen.NewNormalizedSimilarity(sim)
 	}
 	eo := opts.Eigen
 	eo.K = kmax
 	if eo.Seed == 0 {
 		eo.Seed = opts.Seed
 	}
-	res, err := eigen.Largest(op, eo)
+	res, err := eigen.LargestContext(ctx, op, eo)
 	if err != nil {
 		return nil, err
 	}
@@ -75,8 +92,16 @@ func SpectralSweep(a *sparse.CSR, ks []int, opts SpectralOptions) ([]SweepEntry,
 	// entries are written by index, preserving the ks order.
 	entries := make([]SweepEntry, len(ks))
 	errs := make([]error, len(ks))
-	parallel.For(len(ks), 1, func(lo, hi int) {
+	ferr := parallel.ForContext(ctx, len(ks), 1, func(lo, hi int) {
 		for idx := lo; idx < hi; idx++ {
+			// Injection point for fault-tolerance tests: a mid-sweep
+			// cancellation (armed with an OnFire callback that cancels ctx)
+			// fires at the start of a k's work, exercising the prompt-return
+			// path below.
+			faultinject.Fire(faultinject.SweepCancel)
+			if ctx.Err() != nil {
+				return
+			}
 			k := ks[idx]
 			kk := k
 			if kk > n {
@@ -93,7 +118,7 @@ func SpectralSweep(a *sparse.CSR, ks []int, opts SpectralOptions) ([]SweepEntry,
 			if ko.Seed == 0 {
 				ko.Seed = opts.Seed + int64(kk)
 			}
-			km, err := cluster.KMeans(sub, n, kk, ko)
+			km, err := cluster.KMeansContext(ctx, sub, n, kk, ko)
 			if err != nil {
 				errs[idx] = err
 				continue
@@ -107,9 +132,23 @@ func SpectralSweep(a *sparse.CSR, ks []int, opts SpectralOptions) ([]SweepEntry,
 			}
 		}
 	})
-	for _, err := range errs {
+	if ferr != nil {
+		return nil, ferr
+	}
+	for i, err := range errs {
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, err
+		}
+		if entries[i].Perm == nil {
+			// Chunk abandoned between the Fire above and ctx.Err going
+			// non-nil after ForContext returned.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, errors.New("core: sweep entry missing")
 		}
 	}
 	return entries, nil

@@ -1,6 +1,7 @@
 package eigen
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -185,7 +186,7 @@ func TestLanczosMatchesJacobi(t *testing.T) {
 	}
 	op := CSROp{M: m}
 
-	dense, err := denseLargest(op, 5)
+	dense, err := denseLargest(context.Background(), op, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,9 @@ func TestLanczosMatchesJacobi(t *testing.T) {
 	// Residual check ‖Av − λv‖.
 	y := make([]float64, n)
 	for i, vec := range lz.Vectors {
-		op.Apply(vec, y)
+		if err := op.Apply(vec, y); err != nil {
+			t.Fatal(err)
+		}
 		r := 0.0
 		for j := range y {
 			d := y[j] - lz.Values[i]*vec[j]
@@ -288,8 +291,12 @@ func TestImplicitMatchesExplicitSimilarity(t *testing.T) {
 	}
 	y1 := make([]float64, a.Rows)
 	y2 := make([]float64, a.Rows)
-	explicit.Apply(x, y1)
-	implicit.Apply(x, y2)
+	if err := explicit.Apply(x, y1); err != nil {
+		t.Fatal(err)
+	}
+	if err := implicit.Apply(x, y2); err != nil {
+		t.Fatal(err)
+	}
 	for i := range y1 {
 		if math.Abs(y1[i]-y2[i]) > 1e-10 {
 			t.Fatalf("implicit/explicit mismatch at %d: %v vs %v", i, y1[i], y2[i])

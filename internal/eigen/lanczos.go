@@ -1,10 +1,13 @@
 package eigen
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+
+	"bootes/internal/faultinject"
 )
 
 // Options configures the Lanczos eigensolver.
@@ -74,6 +77,14 @@ type Result struct {
 // operator using thick-restart Lanczos with full reorthogonalization. For
 // tiny problems it falls back to a dense Jacobi solve.
 func Largest(op Operator, opts Options) (*Result, error) {
+	return LargestContext(context.Background(), op, opts)
+}
+
+// LargestContext is Largest with cooperative cancellation: the context is
+// checked before every operator application (the unit of Lanczos progress)
+// and once per restart cycle, so a cancelled solve returns ctx.Err() within
+// one matvec of the cancellation.
+func LargestContext(ctx context.Context, op Operator, opts Options) (*Result, error) {
 	n := op.Dim()
 	if opts.K <= 0 {
 		return nil, errors.New("eigen: K must be positive")
@@ -81,26 +92,37 @@ func Largest(op Operator, opts Options) (*Result, error) {
 	if opts.K > n {
 		return nil, fmt.Errorf("eigen: K=%d exceeds dimension %d", opts.K, n)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if faultinject.Fire(faultinject.EigenNoConverge) {
+		return nil, ErrNoConverge
+	}
 	opts = opts.withDefaults(n)
 	if n <= opts.DenseFallbackDim || opts.MaxBasis >= n {
-		return denseLargest(op, opts.K)
+		return denseLargest(ctx, op, opts.K)
 	}
-	return thickRestartLanczos(op, opts)
+	return thickRestartLanczos(ctx, op, opts)
 }
 
 // denseLargest materializes the operator column by column and solves with
 // Jacobi rotations.
-func denseLargest(op Operator, k int) (*Result, error) {
+func denseLargest(ctx context.Context, op Operator, k int) (*Result, error) {
 	n := op.Dim()
 	a := make([]float64, n*n)
 	x := make([]float64, n)
 	y := make([]float64, n)
 	for j := 0; j < n; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for i := range x {
 			x[i] = 0
 		}
 		x[j] = 1
-		op.Apply(x, y)
+		if err := op.Apply(x, y); err != nil {
+			return nil, err
+		}
 		for i := 0; i < n; i++ {
 			a[i*n+j] = y[i]
 		}
@@ -133,7 +155,7 @@ func denseLargest(op Operator, k int) (*Result, error) {
 // basis is kept fully orthogonal; after each cycle the top Ritz vectors are
 // retained and the projected problem becomes arrowhead-plus-tridiagonal,
 // which we solve densely (it is at most MaxBasis × MaxBasis).
-func thickRestartLanczos(op Operator, opts Options) (*Result, error) {
+func thickRestartLanczos(ctx context.Context, op Operator, opts Options) (*Result, error) {
 	n := op.Dim()
 	m := opts.MaxBasis
 	rng := rand.New(rand.NewSource(opts.Seed ^ 0x1a2c3))
@@ -157,10 +179,18 @@ func thickRestartLanczos(op Operator, opts Options) (*Result, error) {
 	kept := 0 // size of the retained Ritz block after the latest restart
 
 	for restart := 0; restart <= opts.MaxRestarts; restart++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Extend the basis with Lanczos steps from position len(basis)-1.
 		for len(basis) <= m {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			j := len(basis) - 1
-			op.Apply(basis[j], w)
+			if err := op.Apply(basis[j], w); err != nil {
+				return nil, err
+			}
 			matvecs++
 			if opts.LocalReorth && j > kept {
 				// Three-term recurrence: only v_{j-1} and v_j carry weight

@@ -12,6 +12,9 @@
 package eigen
 
 import (
+	"errors"
+	"fmt"
+
 	"bootes/internal/parallel"
 	"bootes/internal/sparse"
 )
@@ -20,6 +23,11 @@ import (
 // inside the operators. Chunks write disjoint regions, so results are
 // bit-identical for any worker count.
 const scaleGrain = 2048
+
+// ErrOperatorDim reports an operator applied to vectors of the wrong length.
+// Operators return it instead of panicking so a malformed operator can never
+// kill a serving process.
+var ErrOperatorDim = errors.New("eigen: operator dimension mismatch")
 
 // mulInto sets dst[i] = x[i]·s[i] over parallel chunks.
 func mulInto(dst, x, s []float64) {
@@ -39,12 +47,21 @@ func mulInPlace(y, s []float64) {
 	})
 }
 
+// checkDims validates that x and y both have length n.
+func checkDims(n int, x, y []float64) error {
+	if len(x) != n || len(y) != n {
+		return fmt.Errorf("%w: dim %d, len(x)=%d len(y)=%d", ErrOperatorDim, n, len(x), len(y))
+	}
+	return nil
+}
+
 // Operator is a symmetric linear operator on ℝⁿ.
 type Operator interface {
 	// Dim returns n.
 	Dim() int
 	// Apply computes y = Op·x. x and y have length Dim and do not alias.
-	Apply(x, y []float64)
+	// It returns an error (never panics) on malformed input.
+	Apply(x, y []float64) error
 }
 
 // CSROp adapts a symmetric sparse matrix to Operator. The matrix is not
@@ -55,10 +72,11 @@ type CSROp struct{ M *sparse.CSR }
 func (o CSROp) Dim() int { return o.M.Rows }
 
 // Apply computes y = M·x.
-func (o CSROp) Apply(x, y []float64) {
+func (o CSROp) Apply(x, y []float64) error {
 	if err := sparse.SpMV(o.M, x, y); err != nil {
-		panic("eigen: CSROp dimension mismatch: " + err.Error())
+		return fmt.Errorf("%w: CSROp: %v", ErrOperatorDim, err)
 	}
+	return nil
 }
 
 // NormalizedSimilarity is the operator M = D^{-1/2}·S·D^{-1/2} for an
@@ -97,12 +115,19 @@ func (o *NormalizedSimilarity) Dim() int { return o.S.Rows }
 
 // Apply computes y = D^{-1/2} S D^{-1/2} x. The scaling and the SpMV inside
 // are row-parallel; >90% of Lanczos time is spent here.
-func (o *NormalizedSimilarity) Apply(x, y []float64) {
+func (o *NormalizedSimilarity) Apply(x, y []float64) error {
+	if err := checkDims(o.S.Rows, x, y); err != nil {
+		return err
+	}
+	if o.S.Cols != o.S.Rows {
+		return fmt.Errorf("%w: similarity matrix %dx%d is not square", ErrOperatorDim, o.S.Rows, o.S.Cols)
+	}
 	mulInto(o.tmp, x, o.InvSqrt)
 	if err := sparse.SpMV(o.S, o.tmp, y); err != nil {
-		panic("eigen: NormalizedSimilarity dimension mismatch: " + err.Error())
+		return fmt.Errorf("%w: NormalizedSimilarity: %v", ErrOperatorDim, err)
 	}
 	mulInPlace(y, o.InvSqrt)
+	return nil
 }
 
 // ImplicitSimilarity applies M = D^{-1/2}·(Ā·Āᵀ)·D^{-1/2} without forming
@@ -168,13 +193,17 @@ func NewImplicitSimilarityCappedWithCounts(a *sparse.CSR, maxColDegree int, colC
 func (o *ImplicitSimilarity) Dim() int { return o.A.Rows }
 
 // Apply computes y = D^{-1/2} Ā Āᵀ D^{-1/2} x via two row-parallel SpMVs.
-func (o *ImplicitSimilarity) Apply(x, y []float64) {
+func (o *ImplicitSimilarity) Apply(x, y []float64) error {
+	if err := checkDims(o.A.Rows, x, y); err != nil {
+		return err
+	}
 	mulInto(o.tmpN, x, o.InvSqrt)
 	if err := sparse.SpMV(o.At, o.tmpN, o.tmpK); err != nil {
-		panic("eigen: ImplicitSimilarity dimension mismatch: " + err.Error())
+		return fmt.Errorf("%w: ImplicitSimilarity Āᵀ: %v", ErrOperatorDim, err)
 	}
 	if err := sparse.SpMV(o.A, o.tmpK, y); err != nil {
-		panic("eigen: ImplicitSimilarity dimension mismatch: " + err.Error())
+		return fmt.Errorf("%w: ImplicitSimilarity Ā: %v", ErrOperatorDim, err)
 	}
 	mulInPlace(y, o.InvSqrt)
+	return nil
 }

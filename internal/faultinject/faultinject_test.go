@@ -1,0 +1,95 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDisarmedFastPath(t *testing.T) {
+	Reset()
+	if Fire("anything") {
+		t.Fatal("disarmed registry fired")
+	}
+	if Hits("anything") != 0 {
+		t.Fatal("disarmed registry counted hits")
+	}
+}
+
+func TestArmFireOnce(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("p")
+	if !Fire("p") {
+		t.Fatal("armed fault did not fire on first hit")
+	}
+	if Fire("p") {
+		t.Fatal("single-shot fault fired twice")
+	}
+	if Hits("p") != 2 || Fired("p") != 1 {
+		t.Fatalf("hits=%d fired=%d, want 2/1", Hits("p"), Fired("p"))
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("p", After(2), Times(2))
+	got := []bool{Fire("p"), Fire("p"), Fire("p"), Fire("p"), Fire("p")}
+	want := []bool{false, false, true, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: fired=%v want %v", i+1, got[i], want[i])
+		}
+	}
+}
+
+func TestAlways(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("p", Always())
+	for i := 0; i < 10; i++ {
+		if !Fire("p") {
+			t.Fatalf("Always fault stopped firing at hit %d", i+1)
+		}
+	}
+}
+
+func TestOnFireCallbackAndDisarm(t *testing.T) {
+	t.Cleanup(Reset)
+	calls := 0
+	Arm("p", OnFire(func() { calls++ }))
+	Fire("p")
+	if calls != 1 {
+		t.Fatalf("callback calls = %d, want 1", calls)
+	}
+	Disarm("p")
+	if Fire("p") {
+		t.Fatal("disarmed point fired")
+	}
+	// Other armed points survive a Disarm of a sibling.
+	Arm("q")
+	Disarm("p")
+	if !Fire("q") {
+		t.Fatal("sibling point lost its arming")
+	}
+}
+
+func TestConcurrentFire(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("p", Times(5))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if Fire("p") {
+				mu.Lock()
+				fired++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 5 {
+		t.Fatalf("fired %d times under concurrency, want exactly 5", fired)
+	}
+}

@@ -1,0 +1,119 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bootes/internal/faultinject"
+)
+
+func TestForContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForContext(ctx, 1000, 8, func(lo, hi int) {
+		ran.Add(1)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForContext = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("body ran %d times on a pre-cancelled context", ran.Load())
+	}
+}
+
+func TestForContextMidRunCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	const n, grain = 100000, 1
+	err := ForContext(ctx, n, grain, func(lo, hi int) {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForContext = %v, want context.Canceled", err)
+	}
+	// Workers stop claiming chunks after the cancel; already-claimed bodies may
+	// finish, so the count is bounded by the worker count, not n.
+	if got := ran.Load(); got >= n {
+		t.Fatalf("all %d chunks ran despite mid-run cancellation", got)
+	}
+}
+
+func TestForContextNilErrorMatchesFor(t *testing.T) {
+	const n, grain = 1000, 7
+	want := make([]int, n)
+	For(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			want[i] = i * i
+		}
+	})
+	got := make([]int, n)
+	if err := ForContext(context.Background(), n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			got[i] = i * i
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("index %d: For wrote %d, ForContext wrote %d", i, want[i], got[i])
+		}
+	}
+}
+
+func TestForContextWorkerStall(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	faultinject.Arm(faultinject.WorkerStall)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := ForContext(ctx, 10000, 1, func(lo, hi int) {})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForContext with stalled worker = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stalled worker held the pool for %v after cancellation", elapsed)
+	}
+}
+
+func TestReduceContextParity(t *testing.T) {
+	const n, grain = 5000, 16
+	mapChunk := func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += 1.0 / float64(i+1)
+		}
+		return s
+	}
+	merge := func(a, b float64) float64 { return a + b }
+	want := Reduce(n, grain, 0.0, mapChunk, merge)
+	got, err := ReduceContext(context.Background(), n, grain, 0.0, mapChunk, merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != got {
+		t.Fatalf("ReduceContext = %v, Reduce = %v (must be bit-identical)", got, want)
+	}
+}
+
+func TestReduceContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := ReduceContext(ctx, 1000, 8, 0, func(lo, hi int) int { return hi - lo }, func(a, b int) int { return a + b })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReduceContext = %v, want context.Canceled", err)
+	}
+	if got != 0 {
+		t.Fatalf("cancelled ReduceContext returned %d, want the zero value", got)
+	}
+}

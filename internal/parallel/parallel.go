@@ -23,11 +23,14 @@
 package parallel
 
 import (
+	"context"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"bootes/internal/faultinject"
 )
 
 var (
@@ -92,7 +95,16 @@ func Sequential() (restore func()) {
 // A panic in any chunk is re-raised on the calling goroutine after all
 // workers have stopped.
 func For(n, grain int, body func(lo, hi int)) {
-	ForWorkers(Workers(), n, grain, body)
+	forWorkersCtx(context.Background(), Workers(), n, grain, body)
+}
+
+// ForContext is For with cooperative cancellation: once ctx is done, workers
+// stop claiming new chunks (already-running chunk bodies finish) and the call
+// returns ctx.Err(). Chunks that never ran leave their outputs untouched, so
+// on a non-nil error the caller must discard partial results. A nil error
+// means every chunk ran, with the same deterministic chunk boundaries as For.
+func ForContext(ctx context.Context, n, grain int, body func(lo, hi int)) error {
+	return forWorkersCtx(ctx, Workers(), n, grain, body)
 }
 
 // ForWorkers is For with an explicit worker bound for this call (still
@@ -100,18 +112,50 @@ func For(n, grain int, body func(lo, hi int)) {
 // caller. Experiment drivers use it to honor a -jobs flag independently of
 // the global budget.
 func ForWorkers(w, n, grain int, body func(lo, hi int)) {
+	forWorkersCtx(context.Background(), w, n, grain, body)
+}
+
+// ForWorkersContext is ForContext with an explicit worker bound.
+func ForWorkersContext(ctx context.Context, w, n, grain int, body func(lo, hi int)) error {
+	return forWorkersCtx(ctx, w, n, grain, body)
+}
+
+// forWorkersCtx is the shared engine behind every For variant. The
+// context-free callers pass context.Background(), whose Done channel is nil,
+// so the cancellation checks vanish and the chunk schedule is exactly the
+// historical one — the determinism contract is unchanged.
+func forWorkersCtx(ctx context.Context, w, n, grain int, body func(lo, hi int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if grain <= 0 {
 		grain = 1
 	}
 	chunks := (n + grain - 1) / grain
+	done := ctx.Done()
 	var next atomic.Int64
 	run := func() {
 		for {
+			if done != nil {
+				select {
+				case <-done:
+					// Stop this worker and keep the others from claiming
+					// further chunks: the caller is about to see ctx.Err().
+					next.Store(int64(chunks))
+					return
+				default:
+				}
+			}
 			c := int(next.Add(1)) - 1
 			if c >= chunks {
+				return
+			}
+			if done != nil && faultinject.Fire(faultinject.WorkerStall) {
+				// Injected stall: park on the context like a wedged worker.
+				// The claimed chunk never runs, so the call can only end via
+				// cancellation — exactly the scenario the stall tests drive.
+				<-done
+				next.Store(int64(chunks))
 				return
 			}
 			lo := c * grain
@@ -129,7 +173,10 @@ func ForWorkers(w, n, grain int, body func(lo, hi int)) {
 	granted := acquireExtras(want)
 	if granted == 0 {
 		run()
-		return
+		if done != nil {
+			return ctx.Err()
+		}
+		return nil
 	}
 
 	var (
@@ -159,6 +206,10 @@ func ForWorkers(w, n, grain int, body func(lo, hi int)) {
 	if p := panicked.Load(); p != nil {
 		panic(*p)
 	}
+	if done != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // acquireExtras claims up to want extra-worker slots from the shared budget
@@ -186,20 +237,30 @@ func acquireExtras(want int) int {
 // worker count, so floating-point reductions are bit-identical whether the
 // chunks ran on 1 worker or 16.
 func Reduce[T any](n, grain int, zero T, mapChunk func(lo, hi int) T, merge func(acc, part T) T) T {
+	v, _ := ReduceContext(context.Background(), n, grain, zero, mapChunk, merge)
+	return v
+}
+
+// ReduceContext is Reduce with cooperative cancellation. On a non-nil error
+// the returned value is meaningless (some chunks never ran) and must be
+// discarded; on a nil error the fold is bit-identical to Reduce.
+func ReduceContext[T any](ctx context.Context, n, grain int, zero T, mapChunk func(lo, hi int) T, merge func(acc, part T) T) (T, error) {
 	if n <= 0 {
-		return zero
+		return zero, ctx.Err()
 	}
 	if grain <= 0 {
 		grain = 1
 	}
 	chunks := (n + grain - 1) / grain
 	partials := make([]T, chunks)
-	For(n, grain, func(lo, hi int) {
+	if err := ForContext(ctx, n, grain, func(lo, hi int) {
 		partials[lo/grain] = mapChunk(lo, hi)
-	})
+	}); err != nil {
+		return zero, err
+	}
 	acc := zero
 	for _, p := range partials {
 		acc = merge(acc, p)
 	}
-	return acc
+	return acc, nil
 }

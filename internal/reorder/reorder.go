@@ -29,6 +29,15 @@ type Result struct {
 	// Reordered reports whether Perm differs from the identity. Reorderers
 	// with a cost gate (Bootes) set this false when they decline to reorder.
 	Reordered bool
+	// Degraded reports that the reorderer could not run its preferred
+	// configuration and fell down its degradation ladder (lower-memory
+	// operator, retried eigensolve, fixed small k, or identity). The plan is
+	// still valid; DegradedReason records the rung and why. Baselines never
+	// set it.
+	Degraded bool
+	// DegradedReason is the human-readable trail of degradation decisions,
+	// empty when Degraded is false.
+	DegradedReason string
 	// Extra carries algorithm-specific diagnostics (e.g. Lanczos matvec
 	// count, chosen k) for the experiment reports.
 	Extra map[string]float64

@@ -91,17 +91,15 @@ func ReadBinary(r io.Reader) (*CSR, error) {
 		return nil, fmt.Errorf("%w: implausible header (%d x %d, nnz %d)", ErrBinFormat, rows, cols, nnz)
 	}
 	m := &CSR{Rows: int(rows), Cols: int(cols)}
-	m.RowPtr = make([]int64, rows+1)
-	if err := binary.Read(br, binary.LittleEndian, m.RowPtr); err != nil {
+	var err error
+	if m.RowPtr, err = readChunked[int64](br, rows+1); err != nil {
 		return nil, fmt.Errorf("%w: row pointers: %v", ErrBinFormat, err)
 	}
-	m.Col = make([]int32, nnz)
-	if err := binary.Read(br, binary.LittleEndian, m.Col); err != nil {
+	if m.Col, err = readChunked[int32](br, nnz); err != nil {
 		return nil, fmt.Errorf("%w: column indices: %v", ErrBinFormat, err)
 	}
 	if hasVal == 1 {
-		m.Val = make([]float64, nnz)
-		if err := binary.Read(br, binary.LittleEndian, m.Val); err != nil {
+		if m.Val, err = readChunked[float64](br, nnz); err != nil {
 			return nil, fmt.Errorf("%w: values: %v", ErrBinFormat, err)
 		}
 	}
@@ -109,4 +107,25 @@ func ReadBinary(r io.Reader) (*CSR, error) {
 		return nil, fmt.Errorf("%w: %v", ErrBinFormat, err)
 	}
 	return m, nil
+}
+
+// binReadChunk is the element count per incremental read of readChunked.
+const binReadChunk = 1 << 16
+
+// readChunked reads n little-endian elements in bounded increments, so the
+// memory pinned by a hostile header is proportional to the payload actually
+// present in the stream, not to the claimed element count: a huge-nnz header
+// on a short stream fails after at most one chunk.
+func readChunked[T int32 | int64 | float64](br io.Reader, n uint64) ([]T, error) {
+	out := make([]T, 0, min(n, binReadChunk))
+	for remaining := n; remaining > 0; {
+		c := min(remaining, binReadChunk)
+		chunk := make([]T, c)
+		if err := binary.Read(br, binary.LittleEndian, chunk); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+		remaining -= c
+	}
+	return out, nil
 }

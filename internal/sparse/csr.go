@@ -12,6 +12,7 @@ package sparse
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -79,6 +80,12 @@ func (m *CSR) Validate() error {
 	if m.Rows < 0 || m.Cols < 0 {
 		return fmt.Errorf("%w: %dx%d", ErrShape, m.Rows, m.Cols)
 	}
+	// Column indices are int32 and row indices travel through int32
+	// permutations/assignments, so dimensions beyond int32 range could never
+	// be addressed; reject them instead of overflowing downstream.
+	if m.Rows > math.MaxInt32 || m.Cols > math.MaxInt32 {
+		return fmt.Errorf("%w: %dx%d exceeds 32-bit index range", ErrShape, m.Rows, m.Cols)
+	}
 	if len(m.RowPtr) != m.Rows+1 {
 		return fmt.Errorf("%w: len(RowPtr)=%d want %d", ErrRowPtr, len(m.RowPtr), m.Rows+1)
 	}
@@ -86,6 +93,9 @@ func (m *CSR) Validate() error {
 		return fmt.Errorf("%w: RowPtr[0]=%d", ErrRowPtr, m.RowPtr[0])
 	}
 	nnz := m.RowPtr[m.Rows]
+	if nnz < 0 {
+		return fmt.Errorf("%w: negative nnz %d", ErrRowPtr, nnz)
+	}
 	if int64(len(m.Col)) != nnz {
 		return fmt.Errorf("%w: len(Col)=%d want %d", ErrRowPtr, len(m.Col), nnz)
 	}

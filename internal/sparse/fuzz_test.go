@@ -18,6 +18,14 @@ func FuzzReadMatrixMarket(f *testing.F) {
 	f.Add("")
 	f.Add("%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n")
 	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 9999999\n1 1 1\n")
+	// Hostile headers: astronomically large dims/nnz, overflowing indices,
+	// and values at the edges of float parsing. Parsers must reject or
+	// bound-allocate; they must never panic or balloon memory.
+	f.Add("%%MatrixMarket matrix coordinate real general\n99999999999999999999 2 1\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 9223372036854775807\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n9223372036854775807 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate integer symmetric\n3 3 1\n3 1 1e309\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2147483647 2147483647 0\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		m, err := ReadMatrixMarket(strings.NewReader(input))
 		if err != nil {
@@ -56,6 +64,16 @@ func FuzzReadBinary(f *testing.F) {
 	}
 	f.Add([]byte("BCSR"))
 	f.Add([]byte{})
+	// Hostile header: valid magic/version with a huge claimed nnz and no
+	// payload — must fail after at most one bounded chunk, not OOM.
+	hostile := append([]byte("BCSR"), []byte{
+		1, 0, 0, 0, // version 1
+		0, 0, 1, 0, 0, 0, 0, 0, // rows = 65536
+		0, 0, 1, 0, 0, 0, 0, 0, // cols = 65536
+		0, 0, 0, 8, 0, 0, 0, 0, // nnz = 2^27 (at the cap)
+		1, // hasVal
+	}...)
+	f.Add(hostile)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := ReadBinary(bytes.NewReader(data))
 		if err != nil {
@@ -72,5 +90,46 @@ func FuzzReadBinary(f *testing.F) {
 		if err != nil || !Equal(m, back) {
 			t.Fatal("round trip failed")
 		}
+	})
+}
+
+// FuzzNewCSR drives the constructor with arbitrary row pointers and column
+// indices decoded from raw bytes: whatever it accepts must satisfy every CSR
+// invariant, and it must reject (not panic on) everything else.
+func FuzzNewCSR(f *testing.F) {
+	f.Add(2, 2, []byte{0, 1, 2}, []byte{0, 1})
+	f.Add(1, 1, []byte{0, 255}, []byte{0})
+	f.Add(-1, 3, []byte{}, []byte{})
+	f.Add(3, -7, []byte{0, 0, 0, 0}, []byte{})
+	f.Fuzz(func(t *testing.T, rows, cols int, rowPtrB, colB []byte) {
+		rowPtr := make([]int64, len(rowPtrB))
+		for i, b := range rowPtrB {
+			// Spread the byte range across negatives, plausible offsets, and
+			// huge values so overflow and extent checks all get exercised.
+			rowPtr[i] = int64(b) - 8
+			if b > 250 {
+				rowPtr[i] = int64(b) << 55
+			}
+		}
+		col := make([]int32, len(colB))
+		for i, b := range colB {
+			col[i] = int32(b) - 4
+		}
+		m, err := NewCSR(rows, cols, rowPtr, col, nil)
+		if err != nil {
+			return // rejecting bad input is fine; crashing is not
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("NewCSR accepted an invalid matrix: %v", err)
+		}
+		if m.NNZ() != int64(len(col)) {
+			t.Fatalf("accepted matrix has inconsistent nnz")
+		}
+		// Accepted matrices must survive the basic accessors.
+		for i := 0; i < m.Rows; i++ {
+			_ = m.Row(i)
+			_ = m.RowNNZ(i)
+		}
+		_ = m.ModeledBytes()
 	})
 }

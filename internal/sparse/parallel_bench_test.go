@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -61,7 +62,7 @@ func BenchmarkSimilarity(b *testing.B) {
 			defer parallel.SetWorkers(prev)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				s, err := spgemmCount(ap, at)
+				s, err := spgemmCount(context.Background(), ap, at)
 				if err != nil || s.NNZ() == 0 {
 					b.Fatal("empty similarity matrix")
 				}

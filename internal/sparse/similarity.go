@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"context"
 	"slices"
 	"sync"
 
@@ -36,6 +37,24 @@ func SimilarityCapped(a *CSR, maxColDegree int) *CSR {
 // threshold); nil colCounts are computed on demand. Values are counted on
 // the pattern of a, so counts of a and of a.Pattern() are interchangeable.
 func SimilarityCappedWithCounts(a *CSR, maxColDegree int, colCounts []int) *CSR {
+	s, err := SimilarityContext(context.Background(), a, maxColDegree, colCounts)
+	if err != nil {
+		// Dimensions are a·aᵀ by construction and the context cannot be
+		// cancelled; failure is impossible.
+		panic("sparse: internal similarity dimension error: " + err.Error())
+	}
+	return s
+}
+
+// SimilarityContext is SimilarityCappedWithCounts with cooperative
+// cancellation: the two row-parallel passes stop launching chunks once ctx
+// is done and the call returns ctx.Err(). Cancellation during pass one
+// returns before the output index/value arrays are ever allocated, which is
+// what bounds the memory a cancelled plan can pin.
+func SimilarityContext(ctx context.Context, a *CSR, maxColDegree int, colCounts []int) (*CSR, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ap := a.Pattern()
 	if maxColDegree > 0 {
 		if colCounts == nil {
@@ -44,12 +63,7 @@ func SimilarityCappedWithCounts(a *CSR, maxColDegree int, colCounts []int) *CSR 
 		ap = DropHubColumnsWithCounts(ap, maxColDegree, colCounts)
 	}
 	at := Transpose(ap)
-	s, err := spgemmCount(ap, at)
-	if err != nil {
-		// Dimensions are a·aᵀ by construction; failure is impossible.
-		panic("sparse: internal similarity dimension error: " + err.Error())
-	}
-	return s
+	return spgemmCount(ctx, ap, at)
 }
 
 // DropHubColumns returns a pattern copy of m with all entries in columns of
@@ -149,7 +163,7 @@ type spaScratch struct {
 // disjoint output rows, so the result is bit-identical to the sequential
 // order for any worker count — and the pre-sizing kills the per-row
 // append churn of the old single-pass scheme.
-func spgemmCount(a, b *CSR) (*CSR, error) {
+func spgemmCount(ctx context.Context, a, b *CSR) (*CSR, error) {
 	if a.Cols != b.Rows {
 		return nil, ErrDimension
 	}
@@ -169,10 +183,13 @@ func spgemmCount(a, b *CSR) (*CSR, error) {
 		return s
 	}}
 
-	// Pass 1: count nnz per output row (mark-only accumulator walk).
+	// Pass 1: count nnz per output row (mark-only accumulator walk). Scratch
+	// is returned via defer so an early exit (panic or cancellation between
+	// chunks) never strands a buffer outside the pool.
 	rowNNZ := make([]int64, a.Rows)
-	parallel.For(a.Rows, rowGrain, func(lo, hi int) {
+	err := parallel.ForContext(ctx, a.Rows, rowGrain, func(lo, hi int) {
 		s := scratch.Get().(*spaScratch)
+		defer scratch.Put(s)
 		for i := lo; i < hi; i++ {
 			n := int64(0)
 			for _, k := range a.Row(i) {
@@ -185,8 +202,10 @@ func spgemmCount(a, b *CSR) (*CSR, error) {
 			}
 			rowNNZ[i] = n
 		}
-		scratch.Put(s)
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < a.Rows; i++ {
 		c.RowPtr[i+1] = c.RowPtr[i] + rowNNZ[i]
 	}
@@ -196,8 +215,9 @@ func spgemmCount(a, b *CSR) (*CSR, error) {
 	// Pass 2: fill each row's pre-sized slice region. Stamps are offset by
 	// a.Rows so they can never collide with a pass-1 stamp (or the -1
 	// initializer) on a reused scratch.
-	parallel.For(a.Rows, rowGrain, func(lo, hi int) {
+	err = parallel.ForContext(ctx, a.Rows, rowGrain, func(lo, hi int) {
 		s := scratch.Get().(*spaScratch)
+		defer scratch.Put(s)
 		for i := lo; i < hi; i++ {
 			stamp := int64(i) + int64(a.Rows)
 			s.touched = s.touched[:0]
@@ -219,9 +239,35 @@ func spgemmCount(a, b *CSR) (*CSR, error) {
 				p++
 			}
 		}
-		scratch.Put(s)
 	})
+	if err != nil {
+		return nil, err
+	}
 	return c, nil
+}
+
+// EstimateSimilarityNNZ returns a deterministic upper bound on nnz(S) for
+// S = Ā·Āᵀ under hub exclusion, computed from column degrees alone:
+// Σ_j d_j² over surviving columns, saturated at rows². The planner's memory
+// budget compares this bound against its cap *before* any similarity storage
+// is allocated. maxColDegree ≤ 0 keeps every column; nil colCounts are
+// computed on demand.
+func EstimateSimilarityNNZ(a *CSR, maxColDegree int, colCounts []int) int64 {
+	if colCounts == nil {
+		colCounts = ColCounts(a)
+	}
+	full := int64(a.Rows) * int64(a.Rows)
+	var est int64
+	for _, d := range colCounts {
+		if maxColDegree > 0 && d > maxColDegree {
+			continue
+		}
+		est += int64(d) * int64(d)
+		if est >= full {
+			return full
+		}
+	}
+	return est
 }
 
 // IntersectionSize returns |cols(row i) ∩ cols(row j)| for two rows of m,

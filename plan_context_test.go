@@ -1,0 +1,101 @@
+package bootes
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"bootes/internal/faultinject"
+)
+
+func TestPlanContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	plan, err := PlanContext(ctx, demoMatrix(t), &Options{ForceReorder: true, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("PlanContext = (%v, %v), want context.Canceled", plan, err)
+	}
+}
+
+func TestPlanContextMatchesPlan(t *testing.T) {
+	m := demoMatrix(t)
+	opts := &Options{ForceReorder: true, ForceK: 8, Seed: 5}
+	p1, err := Plan(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := PlanContext(context.Background(), m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Degraded || p2.Degraded {
+		t.Fatalf("healthy plans must not be Degraded (%v, %v)", p1.Degraded, p2.Degraded)
+	}
+	if p1.K != p2.K || len(p1.Perm) != len(p2.Perm) {
+		t.Fatal("Plan and PlanContext disagree on shape")
+	}
+	for i := range p1.Perm {
+		if p1.Perm[i] != p2.Perm[i] {
+			t.Fatalf("permutations diverge at %d", i)
+		}
+	}
+}
+
+func TestPlanDegradesUnderInjectedFaults(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	faultinject.Arm(faultinject.EigenNoConverge, faultinject.Always())
+	faultinject.Arm(faultinject.AllocCapBreach, faultinject.Always())
+	m := demoMatrix(t)
+	plan, err := Plan(m, &Options{ForceReorder: true, ForceK: 8, Seed: 5})
+	if err != nil {
+		t.Fatalf("plan errored instead of degrading: %v", err)
+	}
+	if !plan.Degraded || plan.DegradedReason == "" {
+		t.Fatalf("want a degraded plan with a reason, got Degraded=%v reason=%q",
+			plan.Degraded, plan.DegradedReason)
+	}
+	if err := plan.Perm.Validate(m.Rows); err != nil {
+		t.Fatalf("degraded plan invalid: %v", err)
+	}
+	// A degraded plan is still fully usable.
+	pm, err := plan.Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Rows != m.Rows {
+		t.Fatal("applied plan changed the matrix shape")
+	}
+}
+
+func TestPlanBudgetDegradesToIdentity(t *testing.T) {
+	m := demoMatrix(t)
+	plan, err := Plan(m, &Options{
+		ForceReorder: true, ForceK: 8, Seed: 5,
+		Budget: Budget{MaxFootprintBytes: 128},
+	})
+	if err != nil {
+		t.Fatalf("budget breach must degrade, not error: %v", err)
+	}
+	if !plan.Degraded || plan.Reordered {
+		t.Fatalf("tiny memory budget: want degraded identity, got Degraded=%v Reordered=%v",
+			plan.Degraded, plan.Reordered)
+	}
+}
+
+func TestPlanWallClockBudget(t *testing.T) {
+	m := demoMatrix(t)
+	plan, err := Plan(m, &Options{
+		ForceReorder: true, ForceK: 8, Seed: 5,
+		Budget: Budget{MaxWallClock: time.Nanosecond},
+	})
+	if err != nil {
+		t.Fatalf("wall-clock expiry must degrade, not error: %v", err)
+	}
+	if !plan.Degraded {
+		t.Fatal("want Degraded=true after wall-clock budget expiry")
+	}
+	if err := plan.Perm.Validate(m.Rows); err != nil {
+		t.Fatalf("degraded plan invalid: %v", err)
+	}
+}
