@@ -4,15 +4,19 @@
 #   make race    — race-detector pass over the root package and the internal
 #                  packages (including the ctx-aware pool and the concurrent
 #                  plan-cancellation stress test), with a multi-core scheduler
-#   make fuzz    — short fuzzing smoke over the sparse-format parsers and the
-#                  CSR constructor (the hostile-input hardening targets)
+#   make race-serve — focused race pass over the serving layer: the plan
+#                  cache's concurrent put/get paths and planserve's
+#                  coalescing/admission/breaker storms
+#   make fuzz    — short fuzzing smoke over the sparse-format parsers, the
+#                  CSR constructor, and the plan-cache entry decoder (the
+#                  hostile-input hardening targets)
 #   make bench   — the parallel-layer benchmarks behind BENCH_parallel.json
 #   make report  — regenerate the reproduction report at the default scale
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race fuzz bench report
+.PHONY: check vet build test race race-serve fuzz bench report
 
 check: vet build test
 
@@ -31,11 +35,16 @@ test:
 race:
 	GOMAXPROCS=4 $(GO) test -race -timeout 45m . ./internal/...
 
+race-serve:
+	GOMAXPROCS=4 $(GO) test -race -count=2 -timeout 10m \
+		./internal/plancache/... ./internal/planserve/
+
 # go accepts one -fuzz pattern per invocation, so each target gets its own.
 fuzz:
 	$(GO) test ./internal/sparse/ -run XXX -fuzz FuzzReadMatrixMarket -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sparse/ -run XXX -fuzz FuzzReadBinary -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sparse/ -run XXX -fuzz FuzzNewCSR -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/plancache/ -run XXX -fuzz FuzzDecodeEntry -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test ./internal/sparse/ -run XXX -bench 'Similarity|SpMV' -benchtime 10x

@@ -28,6 +28,9 @@ package bootes
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -36,6 +39,7 @@ import (
 	"bootes/internal/accel"
 	"bootes/internal/core"
 	"bootes/internal/dtree"
+	"bootes/internal/plancache"
 	"bootes/internal/reorder"
 	"bootes/internal/sparse"
 )
@@ -103,6 +107,12 @@ type Options struct {
 	// operator, smaller k, ultimately the identity permutation) and records
 	// the trail in ReorderPlan.Degraded / DegradedReason.
 	Budget Budget
+	// Cache, when non-nil, is consulted before planning and durably stores
+	// healthy (non-degraded) plans afterwards. The key covers the matrix's
+	// sparsity structure and every option that shapes the plan, so a hit is
+	// exactly the plan this call would have computed. Cache write failures
+	// never fail the plan.
+	Cache *PlanCache
 }
 
 // Budget caps the resources one Plan/PlanContext call may consume.
@@ -140,6 +150,10 @@ type ReorderPlan struct {
 	Degraded bool
 	// DegradedReason is empty when Degraded is false.
 	DegradedReason string
+	// FromCache reports that the plan was served from Options.Cache;
+	// PreprocessSeconds and FootprintBytes then describe the original
+	// computation (what the hit saved), not this call.
+	FromCache bool
 }
 
 // Plan runs the Bootes pipeline on m: extract features, consult the gate,
@@ -161,6 +175,22 @@ func PlanContext(ctx context.Context, m *Matrix, opts *Options) (*ReorderPlan, e
 	if opts != nil {
 		o = *opts
 	}
+	var key string
+	if o.Cache != nil {
+		key = planKey(m, &o)
+		if e, ok := o.Cache.c.Get(key); ok {
+			return &ReorderPlan{
+				Perm:              e.Perm,
+				Reordered:         e.Reordered,
+				K:                 e.K,
+				PreprocessSeconds: e.PreprocessSeconds,
+				FootprintBytes:    e.FootprintBytes,
+				Degraded:          e.Degraded,
+				DegradedReason:    e.DegradedReason,
+				FromCache:         true,
+			}, nil
+		}
+	}
 	p := &core.Pipeline{
 		Spectral:     core.SpectralOptions{Seed: o.Seed, ImplicitSimilarity: o.ImplicitSimilarity},
 		ForceReorder: o.ForceReorder,
@@ -177,7 +207,7 @@ func PlanContext(ctx context.Context, m *Matrix, opts *Options) (*ReorderPlan, e
 	if err != nil {
 		return nil, err
 	}
-	return &ReorderPlan{
+	plan := &ReorderPlan{
 		Perm:              res.Perm,
 		Reordered:         res.Reordered,
 		K:                 int(res.Extra["k"]),
@@ -185,7 +215,78 @@ func PlanContext(ctx context.Context, m *Matrix, opts *Options) (*ReorderPlan, e
 		FootprintBytes:    res.FootprintBytes,
 		Degraded:          res.Degraded,
 		DegradedReason:    res.DegradedReason,
-	}, nil
+	}
+	if o.Cache != nil && !plan.Degraded {
+		// Degraded plans reflect the moment's faults, not the matrix; only
+		// healthy plans are worth replaying. A failed write is a lost
+		// amortization opportunity, never a planning failure.
+		_ = o.Cache.c.Put(&plancache.Entry{
+			Key:               key,
+			Perm:              plan.Perm,
+			Reordered:         plan.Reordered,
+			K:                 plan.K,
+			PreprocessSeconds: plan.PreprocessSeconds,
+			FootprintBytes:    plan.FootprintBytes,
+		})
+	}
+	return plan, nil
+}
+
+// PlanCache is a crash-safe persistent plan cache (see internal/plancache):
+// entries are content-addressed, atomically written and checksummed, and
+// corrupt files are quarantined rather than failing the open. Attach one via
+// Options.Cache to amortize planning across processes and restarts.
+type PlanCache struct{ c *plancache.Cache }
+
+// OpenPlanCache loads (or creates) a plan cache directory. A directory
+// damaged by crashes or bit rot still opens: unreadable entries are set
+// aside, never fatal.
+func OpenPlanCache(dir string) (*PlanCache, error) {
+	c, err := plancache.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &PlanCache{c: c}, nil
+}
+
+// PlanCacheStats counts cache activity since OpenPlanCache.
+type PlanCacheStats = plancache.Stats
+
+// Stats returns the cache's counters.
+func (c *PlanCache) Stats() PlanCacheStats { return c.c.Stats() }
+
+// Len returns the number of loadable entries.
+func (c *PlanCache) Len() int { return c.c.Len() }
+
+// MatrixKey returns the content hash of m's sparsity structure — the
+// identity under which plans are cached and coalesced (values are excluded;
+// planning consumes only the pattern).
+func MatrixKey(m *Matrix) string { return plancache.KeyCSR(m) }
+
+// planKey extends the matrix's structural hash with every option that
+// changes the planned permutation, so one cache directory can serve callers
+// with different seeds, forced configurations, or models without collisions.
+// Budget is deliberately excluded: it only influences degraded plans, which
+// are never cached.
+func planKey(m *Matrix, o *Options) string {
+	h := sha256.New()
+	h.Write([]byte(plancache.KeyCSR(m)))
+	var opt [32]byte
+	binary.LittleEndian.PutUint64(opt[0:], uint64(o.Seed))
+	binary.LittleEndian.PutUint64(opt[8:], uint64(o.ForceK))
+	if o.ForceReorder {
+		opt[16] = 1
+	}
+	if o.ImplicitSimilarity {
+		opt[17] = 1
+	}
+	h.Write(opt[:])
+	if o.Model != nil {
+		if enc, err := o.Model.Encode(); err == nil {
+			h.Write(enc)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Apply returns a copy of m with rows in the plan's order.

@@ -3,22 +3,35 @@
 //
 // Usage:
 //
-//	bootes analyze  -in A.mtx                     # features + gate decision
+//	bootes analyze  -in A.mtx [-timeout 30s] [-strict]   # features + gate decision
 //	bootes reorder  -in A.mtx -out A_reordered.mtx [-k 8] [-force] [-model model.json]
 //	bootes simulate -in A.mtx [-accel Flexagon] [-reorder bootes|gamma|graph|hier|none]
 //	bootes compare  -in A.mtx [-accel GAMMA]      # all methods side by side
 //	bootes spy      -in A.mtx [-pgm out.pgm]      # sparsity pattern plot
+//	bootes plan     -in A.mtx [-server http://localhost:8080]  # plan via a running bootesd
+//
+// Commands that run the planning pipeline (analyze, reorder, plan) accept
+// -timeout (a planning deadline, enforced through PlanContext) and -strict
+// (exit non-zero when the plan is degraded). Degraded plans always print a
+// warning to stderr.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	"bootes"
 	"bootes/internal/accel"
 	"bootes/internal/core"
+	"bootes/internal/plancache/atomicio"
 	"bootes/internal/reorder"
 	"bootes/internal/sparse"
 	"bootes/internal/spy"
@@ -43,14 +56,47 @@ func main() {
 		cmdCompare(args)
 	case "spy":
 		cmdSpy(args)
+	case "plan":
+		cmdPlan(args)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bootes <analyze|reorder|simulate|compare|spy> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: bootes <analyze|reorder|simulate|compare|spy|plan> [flags]")
 	os.Exit(2)
+}
+
+// planCtx derives the planning context from a -timeout flag value. The
+// deadline itself is enforced by Options.Budget.MaxWallClock, which degrades
+// the plan gracefully; the context gets slack beyond it and acts only as a
+// hard backstop should the budget path ever wedge.
+func planCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout+30*time.Second)
+	}
+	return context.Background(), func() {}
+}
+
+// warnDegraded surfaces a degraded plan on stderr and, under -strict, exits
+// non-zero. Call it after all regular output has been printed.
+func warnDegraded(degraded bool, reason string, strict bool) {
+	if !degraded {
+		return
+	}
+	log.Printf("warning: plan degraded: %s", reason)
+	if strict {
+		os.Exit(1)
+	}
+}
+
+// writeFileAtomic publishes a CLI output file through the temp+fsync+rename
+// protocol, so an interrupted run never leaves a torn output.
+func writeFileAtomic(path string, write func(io.Writer) error) {
+	if err := atomicio.WriteFile(path, write); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func readMatrix(path string) *sparse.CSR {
@@ -86,6 +132,8 @@ func cmdAnalyze(args []string) {
 	in := fs.String("in", "", "input matrix (Matrix Market)")
 	model := fs.String("model", "", "trained decision-tree model (JSON)")
 	seed := fs.Int64("seed", 1, "random seed")
+	timeout := fs.Duration("timeout", 0, "planning deadline (0 = none)")
+	strict := fs.Bool("strict", false, "exit non-zero if the plan is degraded")
 	fs.Parse(args)
 	if *in == "" {
 		log.Fatal("analyze: -in is required")
@@ -99,8 +147,13 @@ func cmdAnalyze(args []string) {
 		fmt.Printf("  %-12s %.6g\n", name, vec[i])
 	}
 
+	ctx, cancel := planCtx(*timeout)
+	defer cancel()
 	opts := &bootes.Options{Seed: *seed, Model: loadModel(*model)}
-	plan, err := bootes.Plan(m, opts)
+	if *timeout > 0 {
+		opts.Budget.MaxWallClock = *timeout
+	}
+	plan, err := bootes.PlanContext(ctx, m, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,6 +163,7 @@ func cmdAnalyze(args []string) {
 	} else {
 		fmt.Println("decision: do not reorder (predicted benefit below threshold)")
 	}
+	warnDegraded(plan.Degraded, plan.DegradedReason, *strict)
 }
 
 func cmdReorder(args []string) {
@@ -121,14 +175,22 @@ func cmdReorder(args []string) {
 	force := fs.Bool("force", false, "reorder even if the gate declines")
 	model := fs.String("model", "", "trained decision-tree model (JSON)")
 	seed := fs.Int64("seed", 1, "random seed")
+	timeout := fs.Duration("timeout", 0, "planning deadline (0 = none)")
+	strict := fs.Bool("strict", false, "exit non-zero if the plan is degraded")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		log.Fatal("reorder: -in and -out are required")
 	}
 	m := readMatrix(*in)
-	plan, err := bootes.Plan(m, &bootes.Options{
+	ctx, cancel := planCtx(*timeout)
+	defer cancel()
+	opts := &bootes.Options{
 		Seed: *seed, ForceK: *k, ForceReorder: *force, Model: loadModel(*model),
-	})
+	}
+	if *timeout > 0 {
+		opts.Budget.MaxWallClock = *timeout
+	}
+	plan, err := bootes.PlanContext(ctx, m, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -139,25 +201,21 @@ func cmdReorder(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	if err := sparse.WriteMatrixMarket(f, pm); err != nil {
-		log.Fatal(err)
-	}
+	writeFileAtomic(*out, func(w io.Writer) error {
+		return sparse.WriteMatrixMarket(w, pm)
+	})
 	if *permOut != "" {
-		pf, err := os.Create(*permOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer pf.Close()
-		for _, old := range plan.Perm {
-			fmt.Fprintln(pf, old)
-		}
+		writeFileAtomic(*permOut, func(w io.Writer) error {
+			for _, old := range plan.Perm {
+				if _, err := fmt.Fprintln(w, old); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 	}
 	fmt.Printf("reordered %s -> %s (k=%d, %.3fs)\n", *in, *out, plan.K, plan.PreprocessSeconds)
+	warnDegraded(plan.Degraded, plan.DegradedReason, *strict)
 }
 
 func accelByName(name string) (accel.Config, bool) {
@@ -234,11 +292,27 @@ func cmdSimulate(args []string) {
 		sim.Flops, sim.OutputNNZ, sim.Cycles, sim.Seconds(), 1.0)
 }
 
+// reorderWithTimeout runs r with a deadline when it supports one (the
+// Bootes pipeline does; the baselines run to completion regardless). The
+// deadline is applied as the pipeline's wall-clock budget so expiry degrades
+// the plan instead of erroring; the context is a backstop with slack.
+func reorderWithTimeout(r reorder.Reorderer, a *sparse.CSR, timeout time.Duration) (*reorder.Result, error) {
+	if p, ok := r.(*core.Pipeline); ok && timeout > 0 {
+		p.Budget.MaxWallClock = timeout
+		ctx, cancel := context.WithTimeout(context.Background(), timeout+30*time.Second)
+		defer cancel()
+		return p.ReorderContext(ctx, a)
+	}
+	return r.Reorder(a)
+}
+
 func cmdCompare(args []string) {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	in := fs.String("in", "", "input matrix (Matrix Market)")
 	accelName := fs.String("accel", "GAMMA", "accelerator: Flexagon, GAMMA, Trapezoid")
 	seed := fs.Int64("seed", 1, "random seed")
+	timeout := fs.Duration("timeout", 0, "per-method planning deadline (0 = none; only Bootes honors it)")
+	strict := fs.Bool("strict", false, "exit non-zero if any plan is degraded")
 	fs.Parse(args)
 	if *in == "" {
 		log.Fatal("compare: -in is required")
@@ -255,11 +329,15 @@ func cmdCompare(args []string) {
 	fmt.Printf("%s on %s\n", a, cfg)
 	fmt.Printf("%-10s %12s %12s %14s %12s\n", "method", "preproc(s)", "B traffic", "total traffic", "vs none")
 	var baseTotal int64
+	degradedReasons := map[string]string{}
 	for _, name := range []string{"none", "gamma", "graph", "hier", "bootes"} {
 		r, _ := reordererByName(name, *seed)
-		res, err := r.Reorder(a)
+		res, err := reorderWithTimeout(r, a, *timeout)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if res.Degraded {
+			degradedReasons[name] = res.DegradedReason
 		}
 		// Quick traffic estimate via the row-LRU model, plus full sim total.
 		est, err := trafficmodel.EstimateBWithPerm(a, b, res.Perm, cfg.CacheBytes, 12)
@@ -284,6 +362,14 @@ func cmdCompare(args []string) {
 			name, res.PreprocessTime.Seconds(), est.BTraffic, sim.Traffic.Total(),
 			float64(baseTotal)/float64(sim.Traffic.Total()))
 	}
+	for _, name := range []string{"none", "gamma", "graph", "hier", "bootes"} {
+		if reason, ok := degradedReasons[name]; ok {
+			log.Printf("warning: %s plan degraded: %s", name, reason)
+		}
+	}
+	if *strict && len(degradedReasons) > 0 {
+		os.Exit(1)
+	}
 }
 
 func cmdSpy(args []string) {
@@ -300,14 +386,118 @@ func cmdSpy(args []string) {
 	fmt.Printf("%s\n", m)
 	fmt.Print(spy.ASCII(m, spy.Options{Width: *width, Height: *height}))
 	if *pgm != "" {
-		f, err := os.Create(*pgm)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		if err := spy.WritePGM(f, m, spy.Options{}); err != nil {
-			log.Fatal(err)
-		}
+		writeFileAtomic(*pgm, func(w io.Writer) error {
+			return spy.WritePGM(w, m, spy.Options{})
+		})
 		fmt.Printf("wrote %s\n", *pgm)
 	}
+}
+
+// cmdPlan plans a matrix through a running bootesd daemon, falling back to
+// an in-process PlanContext when no -server is given (optionally with a
+// local persistent plan cache, the same format the daemon uses).
+func cmdPlan(args []string) {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	in := fs.String("in", "", "input matrix (Matrix Market or .bcsr)")
+	server := fs.String("server", "", "bootesd base URL (e.g. http://localhost:8080); empty plans in-process")
+	cacheDir := fs.String("cache", "", "local plan cache directory (in-process mode only)")
+	model := fs.String("model", "", "trained decision-tree model (JSON; in-process mode only)")
+	seed := fs.Int64("seed", 1, "random seed (in-process mode only)")
+	timeout := fs.Duration("timeout", 60*time.Second, "planning deadline (sent as X-Deadline to the daemon)")
+	strict := fs.Bool("strict", false, "exit non-zero if the plan is degraded")
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("plan: -in is required")
+	}
+	if *server != "" {
+		planRemote(*server, *in, *timeout, *strict)
+		return
+	}
+
+	m := readMatrix(*in)
+	ctx, cancel := planCtx(*timeout)
+	defer cancel()
+	opts := &bootes.Options{Seed: *seed, Model: loadModel(*model)}
+	if *timeout > 0 {
+		opts.Budget.MaxWallClock = *timeout
+	}
+	if *cacheDir != "" {
+		cache, err := bootes.OpenPlanCache(*cacheDir)
+		if err != nil {
+			log.Fatalf("opening plan cache: %v", err)
+		}
+		opts.Cache = cache
+	}
+	plan, err := bootes.PlanContext(ctx, m, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	source := "computed"
+	if plan.FromCache {
+		source = "cache hit"
+	}
+	fmt.Printf("key:       %s\n", bootes.MatrixKey(m))
+	fmt.Printf("plan:      reordered=%v k=%d (%s, %.3fs, footprint %d KB)\n",
+		plan.Reordered, plan.K, source, plan.PreprocessSeconds, plan.FootprintBytes>>10)
+	warnDegraded(plan.Degraded, plan.DegradedReason, *strict)
+}
+
+// planRemote posts the matrix file to a bootesd daemon and prints the reply.
+func planRemote(server, in string, timeout time.Duration, strict bool) {
+	f, err := os.Open(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	req, err := http.NewRequest(http.MethodPost, strings.TrimRight(server, "/")+"/v1/plan", f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if timeout > 0 {
+		req.Header.Set("X-Deadline", timeout.String())
+	}
+	client := &http.Client{}
+	if timeout > 0 {
+		// Leave headroom over the planning deadline for transfer time.
+		client.Timeout = timeout + 30*time.Second
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: %s: %s", server, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var pr struct {
+		Key               string  `json:"key"`
+		Reordered         bool    `json:"reordered"`
+		K                 int     `json:"k"`
+		Degraded          bool    `json:"degraded"`
+		DegradedReason    string  `json:"degradedReason"`
+		PreprocessSeconds float64 `json:"preprocessSeconds"`
+		Cached            bool    `json:"cached"`
+		Coalesced         bool    `json:"coalesced"`
+		Breaker           string  `json:"breaker"`
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		log.Fatalf("decoding daemon response: %v", err)
+	}
+	source := "computed"
+	switch {
+	case pr.Cached:
+		source = "cache hit"
+	case pr.Coalesced:
+		source = "coalesced"
+	case pr.Breaker == "open":
+		source = "breaker fast-path"
+	}
+	fmt.Printf("key:       %s\n", pr.Key)
+	fmt.Printf("plan:      reordered=%v k=%d (%s, %.3fs)\n",
+		pr.Reordered, pr.K, source, pr.PreprocessSeconds)
+	warnDegraded(pr.Degraded, pr.DegradedReason, strict)
 }

@@ -1,0 +1,150 @@
+// Command bootesd is the Bootes plan-serving daemon: a long-running HTTP
+// service that fronts the fault-tolerant planning pipeline with a crash-safe
+// persistent plan cache, admission control with load shedding, request
+// coalescing, transient-degradation retries, a degradation circuit breaker,
+// and graceful drain on SIGTERM.
+//
+// Endpoints:
+//
+//	POST /v1/plan[?perm=1][&path=/srv/m.mtx]   plan an uploaded (or local) matrix
+//	GET  /healthz                              liveness
+//	GET  /readyz                               admission (503 while draining)
+//	GET  /statsz                               serving + cache + breaker counters
+//
+// Quick start:
+//
+//	bootesd -addr :8080 -cache /var/lib/bootes/plans &
+//	curl --data-binary @A.mtx 'http://localhost:8080/v1/plan?perm=1'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bootes"
+	"bootes/internal/plancache"
+	"bootes/internal/planserve"
+	"bootes/internal/reorder"
+	"bootes/internal/sparse"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("bootesd: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheDir := flag.String("cache", "", "plan cache directory (empty disables persistence)")
+	modelPath := flag.String("model", "", "trained decision-tree model (JSON)")
+	seed := flag.Int64("seed", 1, "base random seed (retries mix in the attempt number)")
+	maxInFlight := flag.Int("max-inflight", 4, "concurrently executing pipelines")
+	maxQueue := flag.Int("max-queue", 0, "requests waiting for a slot before shedding (default 2x max-inflight)")
+	deadline := flag.Duration("deadline", 60*time.Second, "per-request planning deadline cap")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain deadline")
+	retries := flag.Int("retries", 2, "serve-level retries of transiently degraded plans")
+	breakerFails := flag.Int("breaker-failures", 5, "consecutive hard-degraded plans that trip the breaker (0 disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 15*time.Second, "breaker open duration before a half-open probe")
+	allowPath := flag.Bool("allow-path", false, "allow ?path= requests reading matrices from this host's filesystem")
+	maxUpload := flag.Int64("max-upload", 256<<20, "maximum matrix upload size in bytes")
+	flag.Parse()
+
+	var model *bootes.Model
+	if *modelPath != "" {
+		data, err := os.ReadFile(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if model, err = bootes.LoadModel(data); err != nil {
+			log.Fatalf("%s: %v", *modelPath, err)
+		}
+	}
+
+	var cache *plancache.Cache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = plancache.Open(*cacheDir); err != nil {
+			log.Fatalf("opening plan cache: %v", err)
+		}
+		st := cache.Stats()
+		log.Printf("plan cache %s: %d entries loaded, %d quarantined", *cacheDir, st.Entries, st.Quarantined)
+	}
+
+	srv, err := planserve.New(planserve.Config{
+		Plan:            planFunc(model, *seed),
+		Cache:           cache,
+		MaxInFlight:     *maxInFlight,
+		MaxQueue:        *maxQueue,
+		DefaultDeadline: *deadline,
+		MaxRetries:      *retries,
+		Breaker: planserve.BreakerConfig{
+			FailureThreshold: *breakerFails,
+			Cooldown:         *breakerCooldown,
+		},
+		MaxUploadBytes:  *maxUpload,
+		AllowLocalPaths: *allowPath,
+		Seed:            *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s (inflight=%d queue auto, deadline=%s, cache=%q)",
+		*addr, *maxInFlight, *deadline, *cacheDir)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %s: draining (deadline %s)", sig, *drain)
+	case err := <-errc:
+		log.Fatalf("listener failed: %v", err)
+	}
+
+	// Graceful shutdown: stop admitting (readyz flips to 503, new plan
+	// requests get 503), drain in-flight pipelines — whose cache writes are
+	// synchronous, so a clean drain implies a flushed cache — then close the
+	// listener.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Printf("stopped")
+}
+
+// planFunc adapts the core pipeline to the serving layer. Each retry attempt
+// mixes the attempt number into the seed so a transient eigensolver failure
+// is not deterministically replayed.
+func planFunc(model *bootes.Model, seed int64) planserve.PlanFunc {
+	return func(ctx context.Context, m *sparse.CSR, attempt int) (*reorder.Result, error) {
+		opts := &bootes.Options{Seed: seed + int64(attempt)*0x9E3779B9, Model: model}
+		if dl, ok := ctx.Deadline(); ok {
+			opts.Budget.MaxWallClock = time.Until(dl)
+		}
+		plan, err := bootes.PlanContext(ctx, m, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &reorder.Result{
+			Perm:           plan.Perm,
+			Reordered:      plan.Reordered,
+			Degraded:       plan.Degraded,
+			DegradedReason: plan.DegradedReason,
+			PreprocessTime: time.Duration(plan.PreprocessSeconds * float64(time.Second)),
+			FootprintBytes: plan.FootprintBytes,
+			Extra:          map[string]float64{"k": float64(plan.K)},
+		}, nil
+	}
+}

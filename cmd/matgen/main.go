@@ -12,11 +12,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"bootes/internal/plancache/atomicio"
 	"bootes/internal/sparse"
 	"bootes/internal/workloads"
 )
@@ -44,13 +46,13 @@ func usage() {
 	os.Exit(2)
 }
 
+// writeMatrix publishes the matrix atomically (temp + fsync + rename), so an
+// interrupted matgen run never leaves a torn .mtx for a later job to trip on.
 func writeMatrix(path string, m *sparse.CSR) {
-	f, err := os.Create(path)
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		return sparse.WriteMatrixMarket(w, m)
+	})
 	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	if err := sparse.WriteMatrixMarket(f, m); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -30,6 +30,22 @@ const (
 	// SweepCancel fires at the start of each per-k sweep step; arm it with
 	// OnFire(cancel) to cancel a spectral sweep mid-flight.
 	SweepCancel = "core/sweep-cancel"
+
+	// CacheWriteTemp simulates a crash after the cache entry's temp file has
+	// been created but before (or during) the payload write: atomicio aborts
+	// mid-write, leaving a partial temp file on disk.
+	CacheWriteTemp = "plancache/crash-temp-write"
+	// CacheWriteFsync simulates a crash after the payload is fully written
+	// but before the temp file is fsynced: the write returns an error with
+	// the (unsynced) temp file left behind.
+	CacheWriteFsync = "plancache/crash-fsync"
+	// CacheWriteRename simulates a crash after fsync but before the atomic
+	// rename publishes the entry: the durable temp file is left unrenamed.
+	CacheWriteRename = "plancache/crash-rename"
+	// BreakerProbeFail makes a planserve circuit-breaker half-open probe be
+	// recorded as a failure regardless of the pipeline's actual outcome,
+	// driving the deterministic half-open → re-open transition.
+	BreakerProbeFail = "planserve/probe-fail"
 )
 
 type fault struct {

@@ -1,0 +1,109 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bootes/internal/faultinject"
+)
+
+func TestWriteFileBytes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteFileBytes(path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+}
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteFileBytes(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileBytes(path, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestWriteFileCallbackErrorCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	boom := errors.New("boom")
+	err := WriteFile(path, func(io.Writer) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("destination created despite write failure")
+	}
+	names, _ := os.ReadDir(dir)
+	for _, de := range names {
+		if strings.Contains(de.Name(), TempSuffix) {
+			t.Fatalf("temp file %s leaked on ordinary error", de.Name())
+		}
+	}
+}
+
+// TestCrashNeverTearsDestination verifies the core guarantee at each
+// injected syscall boundary: the destination either keeps its previous
+// content in full or (crash after rename) holds the complete new content —
+// no interleaving ever surfaces under the final name.
+func TestCrashNeverTearsDestination(t *testing.T) {
+	for _, point := range []string{
+		faultinject.CacheWriteTemp,
+		faultinject.CacheWriteFsync,
+		faultinject.CacheWriteRename,
+	} {
+		t.Run(point, func(t *testing.T) {
+			t.Cleanup(faultinject.Reset)
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.txt")
+			if err := WriteFileBytes(path, []byte("generation-1")); err != nil {
+				t.Fatal(err)
+			}
+			faultinject.Arm(point)
+			err := WriteFileBytes(path, []byte("generation-2"))
+			if !errors.Is(err, ErrInjectedCrash) {
+				t.Fatalf("err = %v, want ErrInjectedCrash", err)
+			}
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "generation-1" {
+				t.Fatalf("destination torn: %q", got)
+			}
+		})
+	}
+}
+
+func TestCrashLeavesTempForRecoveryScan(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	faultinject.Arm(faultinject.CacheWriteRename)
+	err := WriteFileBytes(filepath.Join(dir, "out.txt"), []byte("x"))
+	if !errors.Is(err, ErrInjectedCrash) {
+		t.Fatal(err)
+	}
+	names, _ := os.ReadDir(dir)
+	var temps int
+	for _, de := range names {
+		if strings.Contains(de.Name(), TempSuffix) {
+			temps++
+		}
+	}
+	if temps != 1 {
+		t.Fatalf("%d temp files after simulated crash, want 1 (as a real crash leaves)", temps)
+	}
+}

@@ -1,0 +1,178 @@
+// Package plancache is a crash-safe persistent cache of Bootes reordering
+// plans, keyed by a content hash of the matrix's CSR structure.
+//
+// Durability model: one file per entry (<key><Ext>), published through
+// atomicio's temp-file + fsync + atomic-rename protocol, each carrying a
+// format version and a CRC32 over its payload. A kill -9 at any instant
+// leaves every entry either fully present or fully absent; Open never fails
+// on a damaged directory — corrupt or truncated entries are quarantined
+// (renamed aside with QuarantineSuffix, preserving the bytes for postmortem)
+// and counted, stray temp files from interrupted writes are removed, and
+// service continues with the surviving entries.
+package plancache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"bootes/internal/plancache/atomicio"
+)
+
+const (
+	// Ext is the entry file extension.
+	Ext = ".plan"
+	// QuarantineSuffix is appended to undecodable entry files instead of
+	// deleting them: the bytes stay available for diagnosis while the name
+	// no longer matches the entry scan.
+	QuarantineSuffix = ".quarantine"
+)
+
+// Stats counts cache activity since Open.
+type Stats struct {
+	// Entries is the current number of loadable entries.
+	Entries int
+	// Hits / Misses count Get outcomes; Puts counts successful writes.
+	Hits, Misses, Puts int64
+	// WriteErrors counts failed Puts (the cache stays consistent: a failed
+	// write publishes nothing).
+	WriteErrors int64
+	// Quarantined counts entries set aside as corrupt, at Open or on Get.
+	Quarantined int64
+}
+
+// Cache is a concurrency-safe persistent plan cache. The in-memory index
+// mirrors the directory: every loadable entry is held decoded (plans are a
+// few bytes per matrix row), so Get never touches disk after Open.
+type Cache struct {
+	dir string
+
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	stats   Stats
+}
+
+// Open loads (or creates) a cache directory. Corrupt entries are quarantined,
+// not fatal; leftover atomicio temp files are removed.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	c := &Cache{dir: dir, entries: make(map[string]*Entry)}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, de := range names {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		if strings.Contains(name, atomicio.TempSuffix) {
+			// An interrupted write never published; its temp is garbage.
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, Ext) {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		key := strings.TrimSuffix(name, Ext)
+		e, err := loadEntry(path, key)
+		if err != nil {
+			c.quarantine(path)
+			continue
+		}
+		c.entries[key] = e
+	}
+	c.stats.Entries = len(c.entries)
+	return c, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// loadEntry reads and decodes one entry file, cross-checking the embedded
+// key against the filename so a file copied under the wrong name cannot
+// serve another matrix's plan.
+func loadEntry(path, key string) (*Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	e, err := DecodeEntry(data)
+	if err != nil {
+		return nil, err
+	}
+	if e.Key != key {
+		return nil, fmt.Errorf("%w: entry key %q under filename key %q", ErrCorrupt, e.Key, key)
+	}
+	return e, nil
+}
+
+// quarantine renames a damaged entry aside. Callers hold no lock on the
+// stats counter path; Open is single-threaded and Get locks before calling.
+func (c *Cache) quarantine(path string) {
+	_ = os.Rename(path, path+QuarantineSuffix)
+	c.stats.Quarantined++
+}
+
+// Get returns the cached entry for key, or (nil, false).
+func (c *Cache) Get(key string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if ok {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	return e, ok
+}
+
+// Put durably stores e under e.Key: the entry is encoded, written through
+// the atomic protocol, and only then published to the in-memory index, so
+// readers never observe an entry the disk does not durably hold. A write
+// failure leaves both disk and index unchanged.
+func (c *Cache) Put(e *Entry) error {
+	if e.Key == "" {
+		return fmt.Errorf("plancache: empty key")
+	}
+	data, err := EncodeEntry(e)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(c.dir, e.Key+Ext)
+	if err := atomicio.WriteFileBytes(path, data); err != nil {
+		c.mu.Lock()
+		c.stats.WriteErrors++
+		c.mu.Unlock()
+		return err
+	}
+	c.mu.Lock()
+	if _, existed := c.entries[e.Key]; !existed {
+		c.stats.Entries++
+	}
+	c.entries[e.Key] = e
+	c.stats.Puts++
+	c.mu.Unlock()
+	return nil
+}
+
+// Len returns the number of loadable entries.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	return s
+}

@@ -1,0 +1,393 @@
+package plancache
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"bootes/internal/faultinject"
+	"bootes/internal/plancache/atomicio"
+	"bootes/internal/sparse"
+	"bootes/internal/workloads"
+)
+
+func testMatrix(t *testing.T, seed int64) *sparse.CSR {
+	t.Helper()
+	return workloads.ScrambledBlock(workloads.Params{
+		Rows: 64, Cols: 64, Density: 0.05, Seed: seed, Groups: 4,
+	})
+}
+
+func testEntry(t *testing.T, m *sparse.CSR) *Entry {
+	t.Helper()
+	n := m.Rows
+	perm := make(sparse.Permutation, n)
+	for i := range perm {
+		perm[i] = int32(n - 1 - i) // reversal: a valid non-identity bijection
+	}
+	return &Entry{
+		Key:               KeyCSR(m),
+		Perm:              perm,
+		Reordered:         true,
+		K:                 8,
+		PreprocessSeconds: 0.25,
+		FootprintBytes:    4096,
+	}
+}
+
+func TestKeyCSRIsStructural(t *testing.T) {
+	m := testMatrix(t, 1)
+	k1, k2 := KeyCSR(m), KeyCSR(m.Clone())
+	if k1 != k2 {
+		t.Fatal("identical structures hash differently")
+	}
+	if k := KeyCSR(testMatrix(t, 2)); k == k1 {
+		t.Fatal("different structures collide")
+	}
+	// Values must not affect the key: planning consumes only the pattern.
+	withVal := m.Clone()
+	withVal.Val = make([]float64, withVal.NNZ())
+	for i := range withVal.Val {
+		withVal.Val[i] = float64(i)
+	}
+	if KeyCSR(withVal) != k1 {
+		t.Fatal("values changed the structural key")
+	}
+}
+
+func TestEntryRoundTrip(t *testing.T) {
+	e := testEntry(t, testMatrix(t, 1))
+	e.Degraded = true
+	e.DegradedReason = "requested: eigensolver did not converge"
+	data, err := EncodeEntry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEntry(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != e.Key || got.Reordered != e.Reordered || got.K != e.K ||
+		got.Degraded != e.Degraded || got.DegradedReason != e.DegradedReason ||
+		got.PreprocessSeconds != e.PreprocessSeconds || got.FootprintBytes != e.FootprintBytes {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, e)
+	}
+	if len(got.Perm) != len(e.Perm) {
+		t.Fatal("perm length changed")
+	}
+	for i := range got.Perm {
+		if got.Perm[i] != e.Perm[i] {
+			t.Fatalf("perm diverges at %d", i)
+		}
+	}
+}
+
+func TestCachePutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry(t, testMatrix(t, 1))
+	if err := c.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.Get(e.Key); !ok || got.K != 8 {
+		t.Fatalf("Get = (%v, %v)", got, ok)
+	}
+
+	// A fresh process (Open on the same dir) sees the durable entry.
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(e.Key)
+	if !ok {
+		t.Fatal("entry lost across reopen")
+	}
+	if err := got.Perm.Validate(len(got.Perm)); err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Stats(); st.Entries != 1 || st.Quarantined != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCacheCorruptionQuarantine flips and truncates bytes at every offset
+// region of an on-disk entry and asserts the damaged file is quarantined on
+// reopen — never fatal, never served — and that a recompute (fresh Put)
+// restores service under the same key.
+func TestCacheCorruptionQuarantine(t *testing.T) {
+	e := testEntry(t, testMatrix(t, 1))
+	pristine, err := EncodeEntry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"magic", flipAt(0)},
+		{"version", flipAt(5)},
+		{"payload-length", flipAt(9)},
+		{"crc", flipAt(13)},
+		{"payload-head", flipAt(20)},
+		{"payload-perm", flipAt(len(pristine) - 8)},
+		{"truncate-header", func(b []byte) []byte { return b[:10] }},
+		{"truncate-payload", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"truncate-1", func(b []byte) []byte { return b[:len(b)-1] }},
+		{"empty", func(b []byte) []byte { return nil }},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, e.Key+Ext)
+			data := append([]byte(nil), pristine...)
+			if err := os.WriteFile(path, tc.mut(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			c, err := Open(dir)
+			if err != nil {
+				t.Fatalf("corrupt entry made Open fatal: %v", err)
+			}
+			if _, ok := c.Get(e.Key); ok {
+				t.Fatal("corrupt entry was served")
+			}
+			if st := c.Stats(); st.Quarantined != 1 {
+				t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+			}
+			if _, err := os.Stat(path + QuarantineSuffix); err != nil {
+				t.Fatalf("damaged bytes not preserved: %v", err)
+			}
+			// Recompute path: a fresh Put under the same key restores service.
+			if err := c.Put(e); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c.Get(e.Key); !ok {
+				t.Fatal("recomputed entry not served")
+			}
+		})
+	}
+}
+
+func flipAt(off int) func([]byte) []byte {
+	return func(b []byte) []byte {
+		if off < len(b) {
+			b[off] ^= 0x40
+		}
+		return b
+	}
+}
+
+// TestCacheCrashAtEverySyscallBoundary interrupts the entry write at each
+// protocol step (temp-file payload write, fsync, rename) and asserts the
+// acceptance property: the cache reopens cleanly with the entry either fully
+// present or fully absent — never corrupt, never fatal.
+func TestCacheCrashAtEverySyscallBoundary(t *testing.T) {
+	e := testEntry(t, testMatrix(t, 1))
+	boundaries := []struct {
+		point   string
+		present bool // entry visible after the simulated crash?
+	}{
+		{faultinject.CacheWriteTemp, false},
+		{faultinject.CacheWriteFsync, false},
+		{faultinject.CacheWriteRename, false},
+	}
+	for _, b := range boundaries {
+		t.Run(b.point, func(t *testing.T) {
+			t.Cleanup(faultinject.Reset)
+			dir := t.TempDir()
+			c, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			faultinject.Arm(b.point)
+			err = c.Put(e)
+			if !errors.Is(err, atomicio.ErrInjectedCrash) {
+				t.Fatalf("Put = %v, want injected crash", err)
+			}
+			// The "process" died mid-write. A new process opens the cache.
+			c2, err := Open(dir)
+			if err != nil {
+				t.Fatalf("cache unloadable after crash at %s: %v", b.point, err)
+			}
+			if st := c2.Stats(); st.Quarantined != 0 {
+				t.Fatalf("crash left a corrupt (quarantined) entry: %+v", st)
+			}
+			if _, ok := c2.Get(e.Key); ok != b.present {
+				t.Fatalf("entry present=%v after crash at %s, want %v", ok, b.point, b.present)
+			}
+			// No stray temp files survive recovery.
+			names, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, de := range names {
+				if strings.Contains(de.Name(), atomicio.TempSuffix) {
+					t.Fatalf("stray temp file %s after recovery", de.Name())
+				}
+			}
+			// And the interrupted write can simply be retried.
+			if err := c2.Put(e); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c2.Get(e.Key); !ok {
+				t.Fatal("retried write not visible")
+			}
+		})
+	}
+}
+
+// TestCacheCrashAfterRenameIsDurable covers the remaining boundary: once the
+// rename has happened, a crash (before or after the directory fsync) must
+// leave the complete entry visible.
+func TestCacheCrashAfterRenameIsDurable(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry(t, testMatrix(t, 1))
+	if err := c.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash by discarding the in-memory cache and reopening.
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(e.Key)
+	if !ok {
+		t.Fatal("published entry lost")
+	}
+	if len(got.Perm) != len(e.Perm) {
+		t.Fatal("published entry truncated")
+	}
+}
+
+// TestCacheFilenameKeyMismatch: an entry copied under another key's filename
+// must be quarantined, not served for the wrong matrix.
+func TestCacheFilenameKeyMismatch(t *testing.T) {
+	dir := t.TempDir()
+	e := testEntry(t, testMatrix(t, 1))
+	data, err := EncodeEntry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongKey := KeyCSR(testMatrix(t, 2))
+	if err := os.WriteFile(filepath.Join(dir, wrongKey+Ext), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(wrongKey); ok {
+		t.Fatal("entry served under a filename whose key it does not match")
+	}
+	if st := c.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+	}
+}
+
+// TestCacheConcurrentAccess hammers one cache with concurrent writers and
+// readers across overlapping keys (run under -race via make race-serve).
+func TestCacheConcurrentAccess(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]*Entry, 8)
+	for i := range entries {
+		entries[i] = testEntry(t, testMatrix(t, int64(i+1)))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				e := entries[(g+i)%len(entries)]
+				if g%2 == 0 {
+					if err := c.Put(e); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				} else {
+					if got, ok := c.Get(e.Key); ok {
+						if err := got.Perm.Validate(len(got.Perm)); err != nil {
+							t.Errorf("torn entry read: %v", err)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every entry must be durable and intact after the storm.
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Stats(); st.Quarantined != 0 {
+		t.Fatalf("concurrent writes corrupted %d entries", st.Quarantined)
+	}
+}
+
+func TestDecodeRejectsVersionSkew(t *testing.T) {
+	e := testEntry(t, testMatrix(t, 1))
+	data, err := EncodeEntry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[4] = 99 // future format version
+	if _, err := DecodeEntry(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version skew decoded: %v", err)
+	}
+}
+
+func TestDecodeRejectsNonBijection(t *testing.T) {
+	e := testEntry(t, testMatrix(t, 1))
+	e.Perm[0] = e.Perm[1] // duplicate target
+	if _, err := EncodeEntry(e); err != nil {
+		t.Fatal(err) // encode does not validate; decode must
+	}
+	data, _ := EncodeEntry(e)
+	if _, err := DecodeEntry(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("non-bijective perm decoded: %v", err)
+	}
+}
+
+func TestOpenCreatesDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "cache")
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(testEntry(t, testMatrix(t, 1))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutEmptyKeyRejected(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(&Entry{}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func ExampleKeyCSR() {
+	m := sparse.Identity(4, false)
+	fmt.Println(len(KeyCSR(m)))
+	// Output: 64
+}

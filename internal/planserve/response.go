@@ -1,0 +1,89 @@
+package planserve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"bootes/internal/plancache"
+	"bootes/internal/reorder"
+	"bootes/internal/sparse"
+)
+
+// respond writes the JSON plan response. The permutation itself is opt-in
+// (?perm=1): it is rows×~10 bytes of JSON that most clients (monitoring,
+// cache warmers) do not want.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, resp *PlanResponse, cached, coalesced bool, breakerNote string) {
+	resp.Cached = cached
+	resp.Coalesced = coalesced
+	resp.Breaker = breakerNote
+	if r.URL.Query().Get("perm") != "1" {
+		resp.Perm = nil
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if resp.Degraded {
+		w.Header().Set("X-Bootes-Degraded", "true")
+	}
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func planResponseFromResult(key string, m *sparse.CSR, res *reorder.Result) *PlanResponse {
+	return &PlanResponse{
+		Key:               key,
+		Reordered:         res.Reordered,
+		K:                 int(res.Extra["k"]),
+		Degraded:          res.Degraded,
+		DegradedReason:    res.DegradedReason,
+		PreprocessSeconds: res.PreprocessTime.Seconds(),
+		FootprintBytes:    res.FootprintBytes,
+		Rows:              m.Rows,
+		Perm:              res.Perm,
+	}
+}
+
+func planResponseFromEntry(e *plancache.Entry) *PlanResponse {
+	return &PlanResponse{
+		Key:               e.Key,
+		Reordered:         e.Reordered,
+		K:                 e.K,
+		Degraded:          e.Degraded,
+		DegradedReason:    e.DegradedReason,
+		PreprocessSeconds: e.PreprocessSeconds,
+		FootprintBytes:    e.FootprintBytes,
+		Rows:              len(e.Perm),
+		Perm:              e.Perm,
+	}
+}
+
+func entryFromResult(key string, res *reorder.Result) *plancache.Entry {
+	return &plancache.Entry{
+		Key:               key,
+		Perm:              res.Perm,
+		Reordered:         res.Reordered,
+		K:                 int(res.Extra["k"]),
+		Degraded:          res.Degraded,
+		DegradedReason:    res.DegradedReason,
+		PreprocessSeconds: res.PreprocessTime.Seconds(),
+		FootprintBytes:    res.FootprintBytes,
+	}
+}
+
+// sniffReader lets the matrix reader peek at the body's magic bytes without
+// consuming them, so one endpoint accepts both BCSR and Matrix Market.
+type sniffReader struct{ *bufio.Reader }
+
+func newSniffReader(r io.Reader) *sniffReader { return &sniffReader{bufio.NewReader(r)} }
+
+// hasPrefix reports whether the stream starts with p. A stream too short to
+// tell is not an error here — the format parser produces the real diagnosis.
+func (s *sniffReader) hasPrefix(p string) (bool, error) {
+	b, err := s.Peek(len(p))
+	if len(b) < len(p) {
+		if len(b) == 0 && err != nil && err != io.EOF {
+			return false, err
+		}
+		return false, nil
+	}
+	return string(b) == p, nil
+}

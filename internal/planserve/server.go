@@ -1,0 +1,488 @@
+// Package planserve is the resilient plan-serving layer behind cmd/bootesd:
+// it fronts the fault-tolerant planning pipeline with a crash-safe plan
+// cache, admission control with load shedding, request coalescing, retry
+// with backoff for transient degradations, a degradation circuit breaker,
+// and graceful drain.
+//
+// Request lifecycle for POST /v1/plan:
+//
+//	parse matrix → content-hash key → cache lookup
+//	  → breaker check (open ⇒ immediate identity plan, marked, never cached)
+//	  → singleflight join (followers wait, consuming no slot)
+//	  → leader: admission (bounded in-flight + bounded queue; full ⇒ 429)
+//	  → pipeline with per-request deadline, retrying transient degradations
+//	    with exponential backoff + jitter
+//	  → durable cache write (healthy plans only) → respond
+package planserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bootes/internal/faultinject"
+	"bootes/internal/plancache"
+	"bootes/internal/reorder"
+	"bootes/internal/sparse"
+)
+
+// PlanFunc runs the planning pipeline on m. attempt is 0 on the first try
+// and increments across serve-level retries, letting implementations vary
+// the seed so a retry is not a deterministic replay of the failure.
+type PlanFunc func(ctx context.Context, m *sparse.CSR, attempt int) (*reorder.Result, error)
+
+// Config assembles a Server.
+type Config struct {
+	// Plan is the planning pipeline (required).
+	Plan PlanFunc
+	// Cache is the persistent plan cache; nil disables caching.
+	Cache *plancache.Cache
+	// MaxInFlight bounds concurrently executing pipelines (default 4).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an in-flight slot; beyond it
+	// requests are shed with 429 (default 2×MaxInFlight).
+	MaxQueue int
+	// DefaultDeadline caps a request that sends no X-Deadline (default 60s).
+	// A request's deadline also becomes the pipeline's wall-clock budget.
+	DefaultDeadline time.Duration
+	// MaxRetries re-runs a pipeline whose plan came back transiently
+	// degraded (eigensolver non-convergence, contained panic) with
+	// exponential backoff + jitter (default 2; 0 disables).
+	MaxRetries int
+	// RetryBackoff is the first backoff step (default 50ms); step i sleeps
+	// RetryBackoff·2^i plus up to 50% jitter.
+	RetryBackoff time.Duration
+	// Breaker configures the degradation circuit breaker; a zero
+	// FailureThreshold disables it.
+	Breaker BreakerConfig
+	// MaxUploadBytes bounds the request body (default 256 MB).
+	MaxUploadBytes int64
+	// AllowLocalPaths permits `{"path": ...}` / ?path= requests that read a
+	// matrix from the server's filesystem. Off by default: enable only for
+	// trusted local clients (the bootesd -allow-path flag).
+	AllowLocalPaths bool
+	// Seed seeds the retry jitter (deterministic tests); 0 uses a fixed seed.
+	Seed int64
+	// Now overrides the clock (tests); nil uses time.Now.
+	Now func() time.Time
+	// Logf sinks serve-path diagnostics (cache write failures, breaker
+	// transitions); nil uses log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Stats is the /statsz payload.
+type Stats struct {
+	// Served counts completed /v1/plan responses, by outcome.
+	Served, Shed, Coalesced, Degraded, BreakerShortCircuits int64
+	// Retries counts serve-level pipeline re-runs.
+	Retries int64
+	// InFlight / Queued are instantaneous gauges.
+	InFlight, Queued int64
+	// Draining reports shutdown in progress.
+	Draining bool
+	// Breaker is the circuit state ("closed", "open", "half-open").
+	Breaker string
+	// BreakerTrips counts closed→open transitions.
+	BreakerTrips int64
+	// Cache is the plan cache's own counters (zero when caching is off).
+	Cache plancache.Stats
+}
+
+// Server serves planning requests over HTTP. Create with New, expose with
+// Handler, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	sem     chan struct{}
+	breaker *breaker
+	flights flightGroup
+	mux     *http.ServeMux
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+
+	draining atomic.Bool
+	inflight sync.WaitGroup // tracks admitted pipeline executions
+
+	served, shed, coalesced, degraded, retries, breakerShort atomic.Int64
+	running, queued                                          atomic.Int64
+}
+
+// New validates cfg, applies defaults, and builds the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Plan == nil {
+		return nil, errors.New("planserve: Config.Plan is required")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 2 * cfg.MaxInFlight
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = 60 * time.Second
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	} else if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = 256 << 20
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	s := &Server{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		breaker: newBreaker(cfg.Breaker, cfg.Now),
+		jitter:  rand.New(rand.NewSource(seed)),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s, nil
+}
+
+// Handler returns the HTTP handler for the server's endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown performs the graceful drain: new plan requests are refused with
+// 503 immediately, then Shutdown blocks until every admitted pipeline has
+// finished (their cache writes are synchronous, so returning implies the
+// cache is flushed) or ctx expires, whichever is first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("planserve: drain deadline exceeded with %d plans in flight: %w",
+			s.running.Load(), ctx.Err())
+	}
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	state, trips := s.breaker.snapshot()
+	st := Stats{
+		Served:               s.served.Load(),
+		Shed:                 s.shed.Load(),
+		Coalesced:            s.coalesced.Load(),
+		Degraded:             s.degraded.Load(),
+		BreakerShortCircuits: s.breakerShort.Load(),
+		Retries:              s.retries.Load(),
+		InFlight:             s.running.Load(),
+		Queued:               s.queued.Load(),
+		Draining:             s.draining.Load(),
+		Breaker:              state.String(),
+		BreakerTrips:         trips,
+	}
+	if s.cfg.Cache != nil {
+		st.Cache = s.cfg.Cache.Stats()
+	}
+	return st
+}
+
+// PlanResponse is the /v1/plan JSON body.
+type PlanResponse struct {
+	Key               string  `json:"key"`
+	Reordered         bool    `json:"reordered"`
+	K                 int     `json:"k"`
+	Degraded          bool    `json:"degraded"`
+	DegradedReason    string  `json:"degradedReason,omitempty"`
+	PreprocessSeconds float64 `json:"preprocessSeconds"`
+	FootprintBytes    int64   `json:"footprintBytes"`
+	Rows              int     `json:"rows"`
+	// Cached is true when the plan came from the persistent cache;
+	// Coalesced when it was computed by a concurrent identical request;
+	// Breaker is "open" when the identity fast-path answered.
+	Cached    bool   `json:"cached,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Breaker   string `json:"breaker,omitempty"`
+	// Perm is included only when the request asked with ?perm=1.
+	Perm []int32 `json:"perm,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.Stats())
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	m, err := s.readMatrix(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	deadline, err := requestDeadline(r, s.cfg.DefaultDeadline)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	key := plancache.KeyCSR(m)
+	if s.cfg.Cache != nil {
+		if e, ok := s.cfg.Cache.Get(key); ok {
+			s.served.Add(1)
+			s.respond(w, r, planResponseFromEntry(e), true, false, "")
+			return
+		}
+	}
+
+	runPipeline, probe := s.breaker.allow()
+	if !runPipeline {
+		// Identity fast-path: the pipeline is persistently unhealthy, so an
+		// immediate, clearly-marked identity plan beats queueing for work
+		// that would degrade to the same answer slowly. Never cached.
+		s.breakerShort.Add(1)
+		s.served.Add(1)
+		s.degraded.Add(1)
+		res := identityResult(m, "circuit breaker open: pipeline recently degraded repeatedly")
+		s.respond(w, r, planResponseFromResult(key, m, res), false, false, "open")
+		return
+	}
+
+	res, shared, err := s.flights.do(ctx, key, func() (*reorder.Result, error) {
+		return s.runAdmitted(ctx, m, key, probe)
+	})
+	if shared {
+		s.coalesced.Add(1)
+		if probe {
+			// We claimed the half-open probe but rode an existing flight
+			// instead of running the pipeline; free the slot for the next
+			// request.
+			s.breaker.cancelProbe()
+		}
+	}
+	if err != nil {
+		if probe && !shared {
+			// The probe died before producing a pipeline outcome (shed or
+			// out of time): no verdict either way, release the slot.
+			s.breaker.cancelProbe()
+		}
+		switch {
+		case errors.Is(err, errShed):
+			w.Header().Set("Retry-After", "1")
+			s.shed.Add(1)
+			http.Error(w, "overloaded: in-flight and queue limits reached", http.StatusTooManyRequests)
+		case errors.Is(err, context.DeadlineExceeded):
+			http.Error(w, "deadline exceeded before a plan was produced", http.StatusGatewayTimeout)
+		case errors.Is(err, context.Canceled):
+			http.Error(w, "request cancelled", 499) // client closed request
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+
+	if res.Degraded {
+		s.degraded.Add(1)
+	}
+	s.served.Add(1)
+	s.respond(w, r, planResponseFromResult(key, m, res), false, shared, "")
+}
+
+// errShed marks a request rejected by admission control.
+var errShed = errors.New("planserve: load shed")
+
+// runAdmitted is the singleflight leader's path: acquire an execution slot
+// (bounded queue, immediate shed beyond it), run the pipeline with retries,
+// record the breaker outcome, and persist a healthy plan.
+func (s *Server) runAdmitted(ctx context.Context, m *sparse.CSR, key string, probe bool) (*reorder.Result, error) {
+	// Admission: try for a slot without waiting; if the wait queue has
+	// room, wait for a slot or the deadline; otherwise shed immediately —
+	// an overloaded server must answer 429 in microseconds, not enqueue
+	// unboundedly.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+			s.queued.Add(-1)
+			return nil, errShed
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.queued.Add(-1)
+		case <-ctx.Done():
+			s.queued.Add(-1)
+			return nil, ctx.Err()
+		}
+	}
+	s.inflight.Add(1)
+	s.running.Add(1)
+	defer func() {
+		<-s.sem
+		s.running.Add(-1)
+		s.inflight.Done()
+	}()
+
+	res, err := s.planWithRetry(ctx, m)
+	if err != nil {
+		return nil, err
+	}
+	success := !hardDegraded(res)
+	if probe && faultinject.Fire(faultinject.BreakerProbeFail) {
+		success = false
+	}
+	s.breaker.record(success, probe)
+
+	if s.cfg.Cache != nil && !res.Degraded {
+		if err := s.cfg.Cache.Put(entryFromResult(key, res)); err != nil {
+			// A failed cache write is a durability loss, not a serving
+			// failure: the plan is still correct.
+			s.cfg.Logf("planserve: cache write for %s failed: %v", key[:12], err)
+		}
+	}
+	return res, nil
+}
+
+// planWithRetry runs the pipeline, re-running transiently degraded plans
+// with exponential backoff + jitter. Deterministic degradations (budget,
+// memory) and healthy plans return immediately; the last attempt's plan is
+// returned even if still degraded.
+func (s *Server) planWithRetry(ctx context.Context, m *sparse.CSR) (*reorder.Result, error) {
+	var res *reorder.Result
+	var err error
+	for attempt := 0; ; attempt++ {
+		res, err = s.cfg.Plan(ctx, m, attempt)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Degraded || !transientDegradation(res.DegradedReason) || attempt >= s.cfg.MaxRetries {
+			return res, nil
+		}
+		s.retries.Add(1)
+		backoff := s.cfg.RetryBackoff << attempt
+		s.jitterMu.Lock()
+		backoff += time.Duration(s.jitter.Int63n(int64(backoff)/2 + 1))
+		s.jitterMu.Unlock()
+		t := time.NewTimer(backoff)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			// Out of time mid-backoff: the degraded plan in hand is still
+			// valid and better than an error.
+			return res, nil
+		}
+	}
+}
+
+// transientDegradation classifies a DegradedReason trail as retryable: the
+// ladder's transient rung failures (eigensolver non-convergence, contained
+// panics, stalled workers) may succeed on a re-run with a different seed,
+// whereas budget and memory degradations are deterministic for the same
+// request. The substrings match the reason strings core/degrade.go emits.
+func transientDegradation(reason string) bool {
+	return strings.Contains(reason, "did not converge") ||
+		strings.Contains(reason, "contained panic") ||
+		strings.Contains(reason, "worker")
+}
+
+// hardDegraded reports a plan the breaker should count as a failure: it
+// remained transiently degraded after every retry — the pipeline's health,
+// not the request's shape, is the problem. (Budget-degraded plans are the
+// service working as designed and never trip the breaker.)
+func hardDegraded(res *reorder.Result) bool {
+	return res.Degraded && transientDegradation(res.DegradedReason)
+}
+
+// identityResult fabricates the breaker's identity fast-path plan.
+func identityResult(m *sparse.CSR, reason string) *reorder.Result {
+	return &reorder.Result{
+		Perm:           sparse.IdentityPerm(m.Rows),
+		Reordered:      false,
+		Degraded:       true,
+		DegradedReason: reason,
+	}
+}
+
+// requestDeadline derives the effective deadline: X-Deadline (a Go duration
+// such as "500ms" or "2s") when present and shorter than the server cap.
+func requestDeadline(r *http.Request, def time.Duration) (time.Duration, error) {
+	h := r.Header.Get("X-Deadline")
+	if h == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(h)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("invalid X-Deadline %q: want a positive Go duration", h)
+	}
+	return min(d, def), nil
+}
+
+// readMatrix extracts the request's matrix: a body upload (BCSR or Matrix
+// Market, sniffed by magic) or, when enabled, a server-local ?path=.
+func (s *Server) readMatrix(r *http.Request) (*sparse.CSR, error) {
+	if path := r.URL.Query().Get("path"); path != "" {
+		if !s.cfg.AllowLocalPaths {
+			return nil, errors.New("path requests are disabled (start bootesd with -allow-path)")
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if filepath.Ext(path) == ".bcsr" {
+			return sparse.ReadBinary(f)
+		}
+		return sparse.ReadMatrixMarket(f)
+	}
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxUploadBytes)
+	br := newSniffReader(body)
+	isBinary, err := br.hasPrefix("BCSR")
+	if err != nil {
+		return nil, fmt.Errorf("reading matrix body: %w", err)
+	}
+	if isBinary {
+		return sparse.ReadBinary(br)
+	}
+	return sparse.ReadMatrixMarket(br)
+}

@@ -1,0 +1,545 @@
+package planserve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bootes/internal/plancache"
+	"bootes/internal/reorder"
+	"bootes/internal/sparse"
+	"bootes/internal/workloads"
+)
+
+// countingPlanner is a stub pipeline that counts executions per key and can
+// block on a gate to force request overlap.
+type countingPlanner struct {
+	mu    sync.Mutex
+	runs  map[string]int
+	gate  chan struct{} // non-nil: every run waits here
+	delay time.Duration
+	make  func(m *sparse.CSR, attempt int) (*reorder.Result, error)
+}
+
+func (p *countingPlanner) fn() PlanFunc {
+	return func(ctx context.Context, m *sparse.CSR, attempt int) (*reorder.Result, error) {
+		key := plancache.KeyCSR(m)
+		p.mu.Lock()
+		if p.runs == nil {
+			p.runs = make(map[string]int)
+		}
+		p.runs[key]++
+		p.mu.Unlock()
+		if p.gate != nil {
+			select {
+			case <-p.gate:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if p.delay > 0 {
+			select {
+			case <-time.After(p.delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if p.make != nil {
+			return p.make(m, attempt)
+		}
+		return healthyResult(m), nil
+	}
+}
+
+func (p *countingPlanner) runsFor(key string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.runs[key]
+}
+
+func (p *countingPlanner) totalRuns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, c := range p.runs {
+		n += c
+	}
+	return n
+}
+
+func healthyResult(m *sparse.CSR) *reorder.Result {
+	perm := make(sparse.Permutation, m.Rows)
+	for i := range perm {
+		perm[i] = int32(m.Rows - 1 - i)
+	}
+	return &reorder.Result{
+		Perm:      perm,
+		Reordered: true,
+		Extra:     map[string]float64{"k": 8},
+	}
+}
+
+func degradedResult(m *sparse.CSR, reason string) *reorder.Result {
+	return &reorder.Result{
+		Perm:           sparse.IdentityPerm(m.Rows),
+		Degraded:       true,
+		DegradedReason: reason,
+	}
+}
+
+func testMatrix(t testing.TB, seed int64) *sparse.CSR {
+	t.Helper()
+	return workloads.ScrambledBlock(workloads.Params{
+		Rows: 48, Cols: 48, Density: 0.08, Seed: seed, Groups: 4,
+	})
+}
+
+func mmBody(t testing.TB, m *sparse.CSR) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sparse.WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postPlan(t testing.TB, url string, body []byte, deadline string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/plan", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deadline != "" {
+		req.Header.Set("X-Deadline", deadline)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp, string(b)
+}
+
+func TestPlanEndToEnd(t *testing.T) {
+	p := &countingPlanner{}
+	_, ts := newTestServer(t, Config{Plan: p.fn()})
+	m := testMatrix(t, 1)
+	resp, body := postPlan(t, ts.URL, mmBody(t, m), "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	key := plancache.KeyCSR(m)
+	if !strings.Contains(body, key) {
+		t.Fatalf("response missing key %s: %s", key, body)
+	}
+	if !strings.Contains(body, `"reordered":true`) {
+		t.Fatalf("response: %s", body)
+	}
+	if strings.Contains(body, `"perm"`) {
+		t.Fatal("perm included without ?perm=1")
+	}
+	// Health endpoints.
+	for path, want := range map[string]int{"/healthz": 200, "/readyz": 200, "/statsz": 200} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != want {
+			t.Fatalf("%s = %d, want %d", path, r.StatusCode, want)
+		}
+	}
+}
+
+func TestPermOptIn(t *testing.T) {
+	p := &countingPlanner{}
+	_, ts := newTestServer(t, Config{Plan: p.fn()})
+	body := mmBody(t, testMatrix(t, 1))
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/plan?perm=1", bytes.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(b), `"perm":[`) {
+		t.Fatalf("perm missing with ?perm=1: %s", b)
+	}
+}
+
+func TestBadBodyRejected(t *testing.T) {
+	p := &countingPlanner{}
+	_, ts := newTestServer(t, Config{Plan: p.fn()})
+	resp, _ := postPlan(t, ts.URL, []byte("not a matrix"), "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if p.totalRuns() != 0 {
+		t.Fatal("pipeline ran on a garbage body")
+	}
+}
+
+func TestBadDeadlineRejected(t *testing.T) {
+	p := &countingPlanner{}
+	_, ts := newTestServer(t, Config{Plan: p.fn()})
+	resp, _ := postPlan(t, ts.URL, mmBody(t, testMatrix(t, 1)), "soon")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestOverloadShedsFast saturates the in-flight semaphore and the wait
+// queue, then asserts excess requests are rejected 429 immediately (the shed
+// path is a non-blocking select — no sleeps, no I/O) with a Retry-After.
+func TestOverloadShedsFast(t *testing.T) {
+	gate := make(chan struct{})
+	p := &countingPlanner{gate: gate}
+	s, ts := newTestServer(t, Config{Plan: p.fn(), MaxInFlight: 1, MaxQueue: 1})
+
+	// Distinct matrices so singleflight cannot coalesce them.
+	launch := func(i int, out chan<- int) {
+		resp, _ := postPlan(t, ts.URL, mmBody(t, testMatrix(t, int64(i))), "")
+		out <- resp.StatusCode
+	}
+	running := make(chan int, 1)
+	go launch(1, running) // occupies the only slot
+	waitUntil(t, func() bool { return s.running.Load() == 1 })
+	queuedc := make(chan int, 1)
+	go launch(2, queuedc) // occupies the only queue seat
+	waitUntil(t, func() bool { return s.queued.Load() == 1 })
+
+	// Saturated: these must shed, and fast.
+	for i := 3; i <= 5; i++ {
+		start := time.Now()
+		resp, body := postPlan(t, ts.URL, mmBody(t, testMatrix(t, int64(i))), "")
+		elapsed := time.Since(start)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("request %d: status %d (%s), want 429", i, resp.StatusCode, body)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("429 without Retry-After")
+		}
+		if elapsed > 500*time.Millisecond {
+			t.Fatalf("shed took %v; the reject path must not block", elapsed)
+		}
+	}
+	if got := s.Stats().Shed; got != 3 {
+		t.Fatalf("Shed = %d, want 3", got)
+	}
+
+	close(gate) // release the blocked pipeline; queued request completes too
+	if st := <-running; st != http.StatusOK {
+		t.Fatalf("running request status %d", st)
+	}
+	if st := <-queuedc; st != http.StatusOK {
+		t.Fatalf("queued request status %d", st)
+	}
+}
+
+func waitUntil(t testing.TB, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCoalescingExactlyOnce fires 100 concurrent requests — identical and
+// distinct, with mixed deadlines — through a cached server and asserts
+// exactly one pipeline execution per distinct key and an intact cache
+// afterwards. Run under -race by `make race-serve`.
+func TestCoalescingExactlyOnce(t *testing.T) {
+	gate := make(chan struct{})
+	p := &countingPlanner{gate: gate}
+	dir := t.TempDir()
+	cache, err := plancache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{Plan: p.fn(), Cache: cache, MaxInFlight: 8, MaxQueue: 8})
+
+	const distinct = 6
+	matrices := make([][]byte, distinct)
+	keys := make([]string, distinct)
+	for i := range matrices {
+		m := testMatrix(t, int64(i+1))
+		matrices[i] = mmBody(t, m)
+		keys[i] = plancache.KeyCSR(m)
+	}
+
+	var wg sync.WaitGroup
+	codes := make([]int, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Mixed deadlines: all generous enough to survive the gate wait,
+			// but spread so followers time out at different moments in the
+			// -race schedule.
+			deadline := fmt.Sprintf("%dms", 2000+50*(i%8))
+			resp, _ := postPlan(t, ts.URL, matrices[i%distinct], deadline)
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	// Wait until every key's leader is inside the pipeline, then release.
+	waitUntil(t, func() bool { return p.totalRuns() == distinct })
+	close(gate)
+	wg.Wait()
+
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	for _, key := range keys {
+		if n := p.runsFor(key); n != 1 {
+			t.Fatalf("key %s ran %d times, want exactly once", key[:12], n)
+		}
+	}
+	// Every non-leader was answered without a pipeline run: coalesced onto a
+	// live flight, or (if it arrived after the flight finished) from the cache.
+	if st := s.Stats(); st.Coalesced+st.Cache.Hits != 100-distinct {
+		t.Fatalf("Coalesced=%d + cache Hits=%d, want %d combined",
+			st.Coalesced, st.Cache.Hits, 100-distinct)
+	}
+
+	// No torn cache state: a fresh open finds every entry intact.
+	reopened, err := plancache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rst := reopened.Stats()
+	if rst.Quarantined != 0 {
+		t.Fatalf("%d cache entries corrupt after the storm", rst.Quarantined)
+	}
+	if rst.Entries != distinct {
+		t.Fatalf("cache holds %d entries, want %d", rst.Entries, distinct)
+	}
+}
+
+func TestCacheHitSkipsPipeline(t *testing.T) {
+	p := &countingPlanner{}
+	cache, err := plancache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Plan: p.fn(), Cache: cache})
+	body := mmBody(t, testMatrix(t, 1))
+	if resp, _ := postPlan(t, ts.URL, body, ""); resp.StatusCode != 200 {
+		t.Fatal("first request failed")
+	}
+	resp, rbody := postPlan(t, ts.URL, body, "")
+	if resp.StatusCode != 200 || !strings.Contains(rbody, `"cached":true`) {
+		t.Fatalf("second request not served from cache: %d %s", resp.StatusCode, rbody)
+	}
+	if p.totalRuns() != 1 {
+		t.Fatalf("pipeline ran %d times, want 1", p.totalRuns())
+	}
+}
+
+func TestDegradedPlansNotCached(t *testing.T) {
+	p := &countingPlanner{make: func(m *sparse.CSR, _ int) (*reorder.Result, error) {
+		return degradedResult(m, "requested: wall-clock budget exhausted; fell back to identity"), nil
+	}}
+	cache, err := plancache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Plan: p.fn(), Cache: cache})
+	body := mmBody(t, testMatrix(t, 1))
+	resp, rbody := postPlan(t, ts.URL, body, "")
+	if resp.StatusCode != 200 || !strings.Contains(rbody, `"degraded":true`) {
+		t.Fatalf("%d %s", resp.StatusCode, rbody)
+	}
+	if resp.Header.Get("X-Bootes-Degraded") != "true" {
+		t.Fatal("degraded plan not marked in headers")
+	}
+	if cache.Len() != 0 {
+		t.Fatal("degraded plan was cached")
+	}
+	if p.totalRuns() != 1 {
+		t.Fatalf("budget degradation retried (%d runs); only transient rungs retry", p.totalRuns())
+	}
+}
+
+// TestRetryRecoversTransientDegradation: the first attempt degrades with a
+// transient reason, the retry succeeds; the served plan is healthy and the
+// retry counter moves.
+func TestRetryRecoversTransientDegradation(t *testing.T) {
+	p := &countingPlanner{}
+	p.make = func(m *sparse.CSR, attempt int) (*reorder.Result, error) {
+		if attempt == 0 {
+			return degradedResult(m, "requested: eigensolver did not converge"), nil
+		}
+		return healthyResult(m), nil
+	}
+	s, ts := newTestServer(t, Config{Plan: p.fn(), MaxRetries: 2, RetryBackoff: time.Millisecond})
+	resp, body := postPlan(t, ts.URL, mmBody(t, testMatrix(t, 1)), "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("%d %s", resp.StatusCode, body)
+	}
+	if strings.Contains(body, `"degraded":true`) {
+		t.Fatalf("retry did not recover: %s", body)
+	}
+	if st := s.Stats(); st.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", st.Retries)
+	}
+	if p.totalRuns() != 2 {
+		t.Fatalf("runs = %d, want 2", p.totalRuns())
+	}
+}
+
+func TestDeadlinePropagatesToPipeline(t *testing.T) {
+	sawDeadline := make(chan time.Duration, 1)
+	plan := func(ctx context.Context, m *sparse.CSR, _ int) (*reorder.Result, error) {
+		dl, ok := ctx.Deadline()
+		if !ok {
+			t.Error("pipeline context has no deadline")
+		}
+		sawDeadline <- time.Until(dl)
+		return healthyResult(m), nil
+	}
+	_, ts := newTestServer(t, Config{Plan: plan, DefaultDeadline: time.Hour})
+	resp, _ := postPlan(t, ts.URL, mmBody(t, testMatrix(t, 1)), "250ms")
+	if resp.StatusCode != 200 {
+		t.Fatal(resp.Status)
+	}
+	if d := <-sawDeadline; d > 250*time.Millisecond {
+		t.Fatalf("X-Deadline not applied: %v remaining", d)
+	}
+}
+
+func TestSlowPipelineHitsGatewayTimeout(t *testing.T) {
+	p := &countingPlanner{delay: 10 * time.Second}
+	_, ts := newTestServer(t, Config{Plan: p.fn()})
+	resp, _ := postPlan(t, ts.URL, mmBody(t, testMatrix(t, 1)), "50ms")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+}
+
+// TestGracefulShutdown: draining flips readyz and new plans to 503, waits
+// for the in-flight request, and returns once it completes.
+func TestGracefulShutdown(t *testing.T) {
+	gate := make(chan struct{})
+	p := &countingPlanner{gate: gate}
+	s, ts := newTestServer(t, Config{Plan: p.fn()})
+
+	inflight := make(chan int, 1)
+	go func() {
+		resp, _ := postPlan(t, ts.URL, mmBody(t, testMatrix(t, 1)), "")
+		inflight <- resp.StatusCode
+	}()
+	waitUntil(t, func() bool { return s.running.Load() == 1 })
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	waitUntil(t, func() bool { return s.draining.Load() })
+
+	if resp, _ := postPlan(t, ts.URL, mmBody(t, testMatrix(t, 2)), ""); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("new request during drain: %d, want 503", resp.StatusCode)
+	}
+	if r, err := http.Get(ts.URL + "/readyz"); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Body.Close()
+		if r.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("readyz during drain: %d, want 503", r.StatusCode)
+		}
+	}
+	if r, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatal("healthz must stay green during drain")
+		}
+	}
+
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned before the in-flight plan finished: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate)
+	if st := <-inflight; st != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status %d", st)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+func TestShutdownDrainDeadline(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	p := &countingPlanner{gate: gate}
+	s, ts := newTestServer(t, Config{Plan: p.fn()})
+	done := make(chan int, 1)
+	go func() {
+		resp, _ := postPlan(t, ts.URL, mmBody(t, testMatrix(t, 1)), "")
+		done <- resp.StatusCode
+	}()
+	waitUntil(t, func() bool { return s.running.Load() == 1 })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err == nil {
+		t.Fatal("Shutdown succeeded with a stuck plan in flight")
+	}
+}
+
+func TestLocalPathsDisabledByDefault(t *testing.T) {
+	p := &countingPlanner{}
+	_, ts := newTestServer(t, Config{Plan: p.fn()})
+	resp, err := http.Post(ts.URL+"/v1/plan?path=/etc/hostname", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("path request without -allow-path: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	for reason, want := range map[string]bool{
+		"requested: eigensolver did not converge":                     true,
+		"implicit-similarity: contained panic (core: internal panic)": true,
+		"requested: memory estimate 123 B over budget":                false,
+		"wall-clock budget exhausted; fell back to identity":          false,
+		"": false,
+	} {
+		if got := transientDegradation(reason); got != want {
+			t.Errorf("transientDegradation(%q) = %v, want %v", reason, got, want)
+		}
+	}
+}

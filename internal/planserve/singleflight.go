@@ -1,0 +1,53 @@
+package planserve
+
+import (
+	"context"
+	"sync"
+
+	"bootes/internal/reorder"
+)
+
+// flightGroup coalesces concurrent work by key: the first caller for a key
+// becomes the leader and runs the function; followers wait on the leader's
+// result without consuming an admission slot. Unlike x/sync/singleflight
+// (not vendored — the module is stdlib-only), followers wait with their own
+// context, so a follower whose deadline expires abandons the flight without
+// affecting the leader.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	res  *reorder.Result
+	err  error
+}
+
+// do runs fn once per key among concurrent callers. shared reports whether
+// this caller was a follower (the result came from another request's run).
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*reorder.Result, error)) (res *reorder.Result, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.res, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.res, f.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.res, false, f.err
+}

@@ -210,6 +210,8 @@ func (m *CSR) String() string {
 }
 
 // Equal reports whether a and b have identical shape, pattern and values.
+// Two NaN values are considered equal: Equal compares stored matrices (e.g.
+// serialization round trips), where NaN-ness is preserved, not arithmetic.
 func Equal(a, b *CSR) bool {
 	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
 		return false
@@ -229,7 +231,7 @@ func Equal(a, b *CSR) bool {
 	}
 	if a.Val != nil {
 		for p := range a.Val {
-			if a.Val[p] != b.Val[p] {
+			if a.Val[p] != b.Val[p] && !(math.IsNaN(a.Val[p]) && math.IsNaN(b.Val[p])) {
 				return false
 			}
 		}
