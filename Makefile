@@ -1,6 +1,7 @@
 # Development targets for the Bootes reproduction.
 #
-#   make check   — vet + build + full test suite (tier-1 gate)
+#   make check   — vet + build + full test suite + fuzz seed corpus + the
+#                  short deterministic chaos run (tier-1 gate)
 #   make race    — race-detector pass over the root package and the internal
 #                  packages (including the ctx-aware pool and the concurrent
 #                  plan-cancellation stress test), with a multi-core scheduler
@@ -10,15 +11,20 @@
 #   make fuzz    — short fuzzing smoke over the sparse-format parsers, the
 #                  CSR constructor, and the plan-cache entry decoder (the
 #                  hostile-input hardening targets)
+#   make chaos   — the long chaos soak: CHAOS_EPISODES (default 2000) seeded
+#                  end-to-end episodes through plan→cache→serve with faults
+#                  armed, asserting the global invariants after each
 #   make bench   — the parallel-layer benchmarks behind BENCH_parallel.json
 #   make report  — regenerate the reproduction report at the default scale
 
 GO ?= go
 FUZZTIME ?= 10s
+CHAOS_EPISODES ?= 2000
+CHAOS_SEED ?= 20250806
 
-.PHONY: check vet build test race race-serve fuzz bench report
+.PHONY: check vet build test race race-serve fuzz fuzz-seeds chaos chaos-short bench report
 
-check: vet build test
+check: vet build test fuzz-seeds chaos-short
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +44,21 @@ race:
 race-serve:
 	GOMAXPROCS=4 $(GO) test -race -count=2 -timeout 10m \
 		./internal/plancache/... ./internal/planserve/
+
+# Seed-corpus-only pass: every fuzz target replays its checked-in corpus as
+# plain tests (no mutation engine), so check catches corpus regressions fast.
+fuzz-seeds:
+	$(GO) test ./internal/sparse/ ./internal/plancache/ -run 'Fuzz' -count=1
+
+# Short deterministic chaos run (also part of `go test ./...`); kept as its
+# own target so check's output names it explicitly.
+chaos-short:
+	$(GO) test ./internal/chaos/ -run TestChaosEpisodes -count=1
+
+# The long soak. Reproduce a red run with: make chaos CHAOS_SEED=<seed>.
+chaos:
+	$(GO) test ./internal/chaos/ -run TestChaosEpisodes -count=1 -v -timeout 60m \
+		-chaos.episodes=$(CHAOS_EPISODES) -chaos.seed=$(CHAOS_SEED)
 
 # go accepts one -fuzz pattern per invocation, so each target gets its own.
 fuzz:

@@ -40,6 +40,7 @@ import (
 	"bootes/internal/core"
 	"bootes/internal/dtree"
 	"bootes/internal/plancache"
+	"bootes/internal/planverify"
 	"bootes/internal/reorder"
 	"bootes/internal/sparse"
 )
@@ -113,7 +114,26 @@ type Options struct {
 	// exactly the plan this call would have computed. Cache write failures
 	// never fail the plan.
 	Cache *PlanCache
+	// Verify selects whether every plan is machine-checked before it is
+	// returned or cached (internal/planverify): the permutation must be a
+	// bijection of the right length, K must be a candidate cluster count,
+	// Degraded must carry a reason, and — unless ForceReorder/ForceK bypassed
+	// the gate — the traffic model must not predict the reordering moves more
+	// bytes than the original order. A violating plan never surfaces: it
+	// falls back to the identity permutation with the violation recorded in
+	// DegradedReason. The zero value is VerifyOn.
+	Verify VerifyMode
 }
+
+// VerifyMode toggles the always-on plan verifier.
+type VerifyMode int
+
+// Verifier modes. VerifyOn is the zero value: plans are checked unless the
+// caller explicitly opts out.
+const (
+	VerifyOn VerifyMode = iota
+	VerifyOff
+)
 
 // Budget caps the resources one Plan/PlanContext call may consume.
 type Budget struct {
@@ -179,16 +199,33 @@ func PlanContext(ctx context.Context, m *Matrix, opts *Options) (*ReorderPlan, e
 	if o.Cache != nil {
 		key = planKey(m, &o)
 		if e, ok := o.Cache.c.Get(key); ok {
-			return &ReorderPlan{
-				Perm:              e.Perm,
-				Reordered:         e.Reordered,
-				K:                 e.K,
-				PreprocessSeconds: e.PreprocessSeconds,
-				FootprintBytes:    e.FootprintBytes,
-				Degraded:          e.Degraded,
-				DegradedReason:    e.DegradedReason,
-				FromCache:         true,
-			}, nil
+			// A hit is re-checked before it is trusted: a corrupt or degraded
+			// entry (disk rot beyond the CRC, a foreign writer) is treated as
+			// a miss and recomputed, never served.
+			hitSound := true
+			if o.Verify == VerifyOn {
+				vs := planverify.CheckEntryFields(e.Perm, e.K, e.Reordered, e.Degraded, e.DegradedReason)
+				if len(e.Perm) != m.Rows {
+					vs = append(vs, planverify.Violation{Code: planverify.CodePermInvalid,
+						Detail: fmt.Sprintf("entry for %d rows, matrix has %d", len(e.Perm), m.Rows)})
+				}
+				if len(vs) > 0 {
+					planverify.Record(planverify.SitePlanHit, vs...)
+					hitSound = false
+				}
+			}
+			if hitSound {
+				return &ReorderPlan{
+					Perm:              e.Perm,
+					Reordered:         e.Reordered,
+					K:                 e.K,
+					PreprocessSeconds: e.PreprocessSeconds,
+					FootprintBytes:    e.FootprintBytes,
+					Degraded:          e.Degraded,
+					DegradedReason:    e.DegradedReason,
+					FromCache:         true,
+				}, nil
+			}
 		}
 	}
 	p := &core.Pipeline{
@@ -206,6 +243,15 @@ func PlanContext(ctx context.Context, m *Matrix, opts *Options) (*ReorderPlan, e
 	res, err := p.ReorderContext(ctx, m)
 	if err != nil {
 		return nil, err
+	}
+	if o.Verify == VerifyOn {
+		// Always-on verification: structural invariants on every plan, plus
+		// the never-regress traffic check on gate-approved reorderings. The
+		// Force* options are explicit caller overrides of the gate (ablation
+		// and labelling paths), so only the structural checks apply to them.
+		res, _ = planverify.VerifyResult(planverify.SitePlan, m, res, &planverify.Config{
+			Traffic: !o.ForceReorder && o.ForceK == 0,
+		})
 	}
 	plan := &ReorderPlan{
 		Perm:              res.Perm,
@@ -267,7 +313,8 @@ func MatrixKey(m *Matrix) string { return plancache.KeyCSR(m) }
 // changes the planned permutation, so one cache directory can serve callers
 // with different seeds, forced configurations, or models without collisions.
 // Budget is deliberately excluded: it only influences degraded plans, which
-// are never cached.
+// are never cached. Verify is likewise excluded: verification never alters a
+// healthy plan, and only healthy plans are cached.
 func planKey(m *Matrix, o *Options) string {
 	h := sha256.New()
 	h.Write([]byte(plancache.KeyCSR(m)))

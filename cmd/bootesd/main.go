@@ -52,6 +52,10 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 15*time.Second, "breaker open duration before a half-open probe")
 	allowPath := flag.Bool("allow-path", false, "allow ?path= requests reading matrices from this host's filesystem")
 	maxUpload := flag.Int64("max-upload", 256<<20, "maximum matrix upload size in bytes")
+	uploadTimeout := flag.Duration("upload-timeout", 30*time.Second, "maximum time for a request to deliver its matrix body (negative disables)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "maximum time to read a request's headers")
+	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "maximum time to read an entire request")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle timeout")
 	flag.Parse()
 
 	var model *bootes.Model
@@ -86,15 +90,26 @@ func main() {
 			FailureThreshold: *breakerFails,
 			Cooldown:         *breakerCooldown,
 		},
-		MaxUploadBytes:  *maxUpload,
-		AllowLocalPaths: *allowPath,
-		Seed:            *seed,
+		MaxUploadBytes:    *maxUpload,
+		UploadReadTimeout: *uploadTimeout,
+		AllowLocalPaths:   *allowPath,
+		Seed:              *seed,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Server-side timeouts close the slowloris hole: a client that trickles
+	// headers or holds idle keep-alives cannot pin a connection forever. The
+	// body-read budget is per-request (UploadReadTimeout above), so a legal
+	// large upload is bounded by its own clock, not the header one.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("serving on %s (inflight=%d queue auto, deadline=%s, cache=%q)",

@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"bootes/internal/planverify"
+)
+
+var (
+	episodes = flag.Int("chaos.episodes", 120, "episodes for TestChaosEpisodes (make chaos raises this for the soak)")
+	seed     = flag.Int64("chaos.seed", 20250806, "chaos schedule seed")
+)
+
+// TestChaosEpisodes is the always-on short run: every `go test` executes the
+// full seeded schedule and requires zero invariant violations. A failure
+// message carries the seed, so any red run reproduces with
+// `go test ./internal/chaos -chaos.seed=<seed>`.
+func TestChaosEpisodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos episodes skipped in -short mode")
+	}
+	planverify.ResetCounters()
+	rep, err := Run(Config{Seed: *seed, Episodes: *episodes, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("seed %d: %d invariant violation(s):\n%s",
+			*seed, len(rep.Violations), strings.Join(rep.Violations, "\n"))
+	}
+	if rep.Episodes != *episodes {
+		t.Fatalf("ran %d episodes, want %d", rep.Episodes, *episodes)
+	}
+	// Coverage, not correctness: with ≥100 episodes the schedule must have
+	// visited every scenario and armed at least one fault point, otherwise
+	// the harness quietly stopped testing anything.
+	if *episodes >= 100 {
+		for _, sc := range scenarios {
+			if rep.Scenarios[sc.name] == 0 {
+				t.Errorf("scenario %s never ran in %d episodes", sc.name, rep.Episodes)
+			}
+		}
+		armed := 0
+		for _, n := range rep.Faults {
+			armed += n
+		}
+		if armed == 0 {
+			t.Error("no fault point was ever armed")
+		}
+	}
+	t.Logf("chaos: %d episodes, scenarios=%v faults=%v healthy=%d degraded=%d refused=%d quarantined=%d verify-violations=%d",
+		rep.Episodes, rep.Scenarios, rep.Faults, rep.Healthy, rep.DegradedPlans,
+		rep.Refused, rep.Quarantined, planverify.Total())
+}
+
+// TestChaosDeterministicSchedule: equal seeds make equal choices. The digest
+// covers every scheduling decision (scenario, fault points, trigger options),
+// so a drift here means a red soak could not be replayed from its seed.
+func TestChaosDeterministicSchedule(t *testing.T) {
+	run := func() *Report {
+		rep, err := Run(Config{Seed: 7, Episodes: 12, Dir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed() {
+			t.Fatalf("violations:\n%s", strings.Join(rep.Violations, "\n"))
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.ScheduleDigest != b.ScheduleDigest {
+		t.Fatalf("same seed, different schedules:\n%s\n%s", a.ScheduleDigest, b.ScheduleDigest)
+	}
+	if len(a.ScheduleDigest) != 64 {
+		t.Fatalf("malformed digest %q", a.ScheduleDigest)
+	}
+}
+
+// TestChaosSeedsDiverge: different seeds must explore different schedules —
+// a constant digest would mean the rng plumbing is broken and every "random"
+// run tests the same path.
+func TestChaosSeedsDiverge(t *testing.T) {
+	a, err := Run(Config{Seed: 1, Episodes: 8, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 2, Episodes: 8, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ScheduleDigest == b.ScheduleDigest {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+func TestChaosRequiresDir(t *testing.T) {
+	if _, err := Run(Config{Seed: 1, Episodes: 1}); err == nil {
+		t.Fatal("Run accepted an empty scratch dir")
+	}
+}

@@ -12,6 +12,7 @@
 package faultinject
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -46,7 +47,34 @@ const (
 	// recorded as a failure regardless of the pipeline's actual outcome,
 	// driving the deterministic half-open → re-open transition.
 	BreakerProbeFail = "planserve/probe-fail"
+
+	// PlanCorrupt makes the plan verifier (internal/planverify) check a
+	// deliberately corrupted copy of the permutation instead of the real one:
+	// the verification sites — PlanContext, plancache.Put, planserve — must
+	// all catch the corruption and refuse to return, cache, or serve it.
+	PlanCorrupt = "planverify/corrupt-plan"
 )
+
+// points enumerates every trigger point declared above, in declaration
+// order. TestPointsCoversEveryConstant parses this file and fails if a new
+// constant is added without extending this list, so Points() is a reliable
+// discovery surface for the chaos scheduler.
+var points = []string{
+	EigenNoConverge,
+	AllocCapBreach,
+	WorkerStall,
+	SweepCancel,
+	CacheWriteTemp,
+	CacheWriteFsync,
+	CacheWriteRename,
+	BreakerProbeFail,
+	PlanCorrupt,
+}
+
+// Points returns every declared injection point. The slice is a copy; the
+// chaos scheduler uses it to exercise all fault paths without a
+// hand-maintained list of its own.
+func Points() []string { return append([]string(nil), points...) }
 
 type fault struct {
 	fireAt    int // 1-based hit ordinal at which firing starts
@@ -77,22 +105,27 @@ func Always() Option { return func(f *fault) { f.remaining = -1 } }
 // OnFire runs fn (outside the registry lock) each time the fault fires.
 func OnFire(fn func()) Option { return func(f *fault) { f.onFire = fn } }
 
-// Arm registers point so subsequent Fire(point) calls trigger. Re-arming a
-// point replaces its previous configuration and resets its counters.
-func Arm(point string, opts ...Option) {
+// Arm registers point so subsequent Fire(point) calls trigger. Arming a
+// point that is already armed is an error and leaves the existing
+// configuration (and its counters) untouched: a scheduler that composes
+// fault scenarios must Disarm or Reset first, never silently clobber a
+// scenario half set up.
+func Arm(point string, opts ...Option) error {
 	f := &fault{fireAt: 1, remaining: 1}
 	for _, o := range opts {
 		o(f)
 	}
 	mu.Lock()
+	defer mu.Unlock()
 	if table == nil {
 		table = make(map[string]*fault)
 	}
-	if _, exists := table[point]; !exists {
-		armedCount.Add(1)
+	if _, exists := table[point]; exists {
+		return fmt.Errorf("faultinject: point %q already armed (Disarm or Reset first)", point)
 	}
+	armedCount.Add(1)
 	table[point] = f
-	mu.Unlock()
+	return nil
 }
 
 // Disarm removes one point; counters for other points are untouched.

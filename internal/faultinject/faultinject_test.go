@@ -1,6 +1,9 @@
 package faultinject
 
 import (
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"sync"
 	"testing"
 )
@@ -68,6 +71,85 @@ func TestOnFireCallbackAndDisarm(t *testing.T) {
 	Disarm("p")
 	if !Fire("q") {
 		t.Fatal("sibling point lost its arming")
+	}
+}
+
+func TestDoubleArmIsError(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Arm("p", Times(3)); err != nil {
+		t.Fatalf("first Arm: %v", err)
+	}
+	if err := Arm("p"); err == nil {
+		t.Fatal("second Arm of an armed point succeeded")
+	}
+	// The original configuration survives the rejected re-arm.
+	if !Fire("p") || !Fire("p") || !Fire("p") || Fire("p") {
+		t.Fatal("rejected re-arm disturbed the original Times(3) configuration")
+	}
+	Disarm("p")
+	if err := Arm("p"); err != nil {
+		t.Fatalf("re-Arm after Disarm: %v", err)
+	}
+}
+
+func TestPointsEnumeratesDeclaredPoints(t *testing.T) {
+	pts := Points()
+	seen := make(map[string]bool, len(pts))
+	for _, p := range pts {
+		if seen[p] {
+			t.Fatalf("Points() lists %q twice", p)
+		}
+		seen[p] = true
+	}
+	for _, want := range []string{EigenNoConverge, CacheWriteRename, PlanCorrupt} {
+		if !seen[want] {
+			t.Fatalf("Points() missing %q", want)
+		}
+	}
+	// The returned slice is a copy.
+	pts[0] = "mutated"
+	if Points()[0] == "mutated" {
+		t.Fatal("Points() exposes internal state")
+	}
+}
+
+// TestPointsCoversEveryConstant parses faultinject.go and checks that every
+// string constant declared there appears in Points(), so a new injection
+// point cannot be added without the chaos scheduler discovering it.
+func TestPointsCoversEveryConstant(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "faultinject.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listed := make(map[string]bool)
+	for _, p := range Points() {
+		listed[p] = true
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				val := lit.Value[1 : len(lit.Value)-1] // strip quotes
+				if !listed[val] {
+					t.Errorf("constant %s = %q is not in Points()", name.Name, val)
+				}
+			}
+		}
 	}
 }
 

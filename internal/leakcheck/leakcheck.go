@@ -1,0 +1,171 @@
+// Package leakcheck asserts that an operation leaves no goroutines and no
+// resource slots behind. It is shared by the serving-layer test suites and
+// the chaos harness, whose per-episode global invariant is "everything the
+// episode started has stopped".
+//
+// Goroutine accounting is stack-based, not count-based: a goroutine is
+// "interesting" only if its stack contains a frame from this module
+// (bootes/...), so unrelated runtime and testing machinery can come and go
+// freely. Because goroutines wind down asynchronously (a cancelled worker
+// still needs a few scheduler quanta to observe its context and return),
+// every check polls until the condition holds or a settle deadline expires —
+// a failure therefore means a real leak, not a race with shutdown.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// SettleTimeout is how long checks wait for goroutines to wind down and
+// gauges to drain before declaring a leak.
+const SettleTimeout = 5 * time.Second
+
+// modulePrefix marks stack frames that belong to this codebase. The
+// leakcheck package itself is excluded so the checker never counts its own
+// helpers.
+const modulePrefix = "bootes/"
+
+// Snapshot is the set of interesting goroutines alive at Take time.
+type Snapshot struct {
+	ids map[int64]bool
+}
+
+// Take captures the currently live interesting goroutines.
+func Take() *Snapshot {
+	s := &Snapshot{ids: make(map[int64]bool)}
+	for id := range interesting() {
+		s.ids[id] = true
+	}
+	return s
+}
+
+// Check polls until every interesting goroutine not present at Take time has
+// exited, or SettleTimeout passes. On timeout it returns an error carrying
+// the leaked goroutines' stacks.
+func (s *Snapshot) Check() error {
+	deadline := time.Now().Add(SettleTimeout)
+	for {
+		leaked := s.leaked()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			var b strings.Builder
+			fmt.Fprintf(&b, "leakcheck: %d goroutine(s) leaked:", len(leaked))
+			for _, stack := range leaked {
+				b.WriteString("\n\n")
+				b.WriteString(stack)
+			}
+			return fmt.Errorf("%s", b.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (s *Snapshot) leaked() []string {
+	var out []string
+	for id, stack := range interesting() {
+		if !s.ids[id] {
+			out = append(out, stack)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// interesting returns id → stack for every live goroutine whose stack holds
+// a bootes/ frame outside this package.
+func interesting() map[int64]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := make(map[int64]string)
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		if !strings.HasPrefix(block, "goroutine ") || !hasModuleFrame(block) {
+			continue
+		}
+		header := block[len("goroutine "):]
+		sp := strings.IndexByte(header, ' ')
+		if sp < 0 {
+			continue
+		}
+		id, err := strconv.ParseInt(header[:sp], 10, 64)
+		if err != nil {
+			continue
+		}
+		out[id] = block
+	}
+	return out
+}
+
+// hasModuleFrame reports whether any function frame of the goroutine block
+// belongs to this module, excluding leakcheck itself (and its test package).
+// Frames are judged line by line, so a goroutine that merely *mentions* a
+// module path inside an argument cannot confuse the filter, and a goroutine
+// spawned by a leakcheck test but parked inside another bootes package is
+// still seen.
+func hasModuleFrame(block string) bool {
+	for _, line := range strings.Split(block, "\n") {
+		fn := strings.TrimPrefix(line, "created by ")
+		if !strings.HasPrefix(fn, modulePrefix) {
+			continue
+		}
+		if strings.HasPrefix(fn, modulePrefix+"internal/leakcheck") {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// SettleZero polls gauge until it reports 0 or SettleTimeout passes; a
+// non-zero final reading is returned as an error naming the gauge. Use it
+// for slot-style resources (worker-pool extras, admission semaphores) whose
+// release trails the operation by a scheduler quantum.
+func SettleZero(name string, gauge func() int64) error {
+	deadline := time.Now().Add(SettleTimeout)
+	for {
+		v := gauge()
+		if v == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("leakcheck: gauge %s stuck at %d, want 0", name, v)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Goroutines registers a cleanup on t that fails the test if the code under
+// test leaked goroutines. Call it before starting the workload.
+func Goroutines(t testing.TB) {
+	t.Helper()
+	snap := Take()
+	t.Cleanup(func() {
+		if err := snap.Check(); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// Zero registers a cleanup on t that fails the test unless gauge drains to 0.
+func Zero(t testing.TB, name string, gauge func() int64) {
+	t.Helper()
+	t.Cleanup(func() {
+		if err := SettleZero(name, gauge); err != nil {
+			t.Error(err)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package leakcheck
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bootes/internal/parallel"
+)
+
+// blockInParallel parks a goroutine inside a bootes/internal/parallel frame
+// until release is closed, giving the detector a module-owned stack to find.
+// It returns only after the goroutine is running: an unscheduled goroutine is
+// invisible to runtime.Stack, so returning earlier would let snapshot
+// boundaries race with goroutine startup and bleed leaks across tests.
+func blockInParallel(release chan struct{}) {
+	started := make(chan struct{})
+	go parallel.ForWorkers(1, 1, 1, func(lo, hi int) {
+		close(started)
+		<-release
+	})
+	<-started
+}
+
+func TestDetectsModuleGoroutineLeak(t *testing.T) {
+	snap := Take()
+	release := make(chan struct{})
+	blockInParallel(release)
+	defer close(release)
+
+	// Wait until the goroutine is parked where the detector can see it.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(snap.leaked()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocked parallel goroutine never became visible")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	leaked := snap.leaked()
+	if !strings.Contains(leaked[0], "bootes/internal/parallel") {
+		t.Fatalf("leak report misses the owning frame:\n%s", leaked[0])
+	}
+}
+
+func TestCheckSettlesAfterRelease(t *testing.T) {
+	snap := Take()
+	release := make(chan struct{})
+	blockInParallel(release)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	// Check polls: the goroutine exits mid-check and the snapshot settles.
+	if err := snap.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeakcheckOwnGoroutinesInvisible(t *testing.T) {
+	snap := Take()
+	release := make(chan struct{})
+	defer close(release)
+	// A goroutine with only leakcheck/test frames must not count as a leak.
+	go func() { <-release }()
+	time.Sleep(10 * time.Millisecond)
+	if leaked := snap.leaked(); len(leaked) != 0 {
+		t.Fatalf("test-local goroutine flagged:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}
+
+func TestSettleZero(t *testing.T) {
+	var g atomic.Int64
+	g.Store(3)
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		g.Store(0)
+	}()
+	if err := SettleZero("test-gauge", g.Load); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelExtrasQuiescent(t *testing.T) {
+	parallel.ForWorkers(4, 64, 4, func(lo, hi int) {})
+	if err := SettleZero("parallel extras", parallel.Extras); err != nil {
+		t.Fatal(err)
+	}
+}

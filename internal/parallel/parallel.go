@@ -74,6 +74,12 @@ func SetWorkers(n int) int {
 	return prev
 }
 
+// Extras returns the number of extra worker goroutines currently live across
+// every concurrent For call. Outside any For the pool is quiescent and Extras
+// reports 0 — the invariant leakcheck and the chaos harness assert after each
+// episode (a non-zero reading at rest means a worker leaked its slot).
+func Extras() int64 { return extras.Load() }
+
 // Sequential forces the old single-threaded behavior (worker budget 1) and
 // returns a restore function:
 //

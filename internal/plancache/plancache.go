@@ -12,6 +12,7 @@
 package plancache
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -19,6 +20,7 @@ import (
 	"sync"
 
 	"bootes/internal/plancache/atomicio"
+	"bootes/internal/planverify"
 )
 
 const (
@@ -132,17 +134,39 @@ func (c *Cache) Get(key string) (*Entry, bool) {
 	return e, ok
 }
 
-// Put durably stores e under e.Key: the entry is encoded, written through
-// the atomic protocol, and only then published to the in-memory index, so
-// readers never observe an entry the disk does not durably hold. A write
-// failure leaves both disk and index unchanged.
+// Put durably stores e under e.Key: the entry is verified (see below),
+// encoded, written through the atomic protocol, and only then published to
+// the in-memory index, so readers never observe an entry the disk does not
+// durably hold. A write failure leaves both disk and index unchanged.
+//
+// Verification is always on: the permutation must be a bijection, K a
+// candidate cluster count, and degraded plans are rejected outright — a
+// degraded plan reflects the moment's faults, not the matrix, and must never
+// be replayed from cache. The encoded bytes must additionally decode and
+// re-encode bit-identically, so what the cache persists is provably exactly
+// what a future Open will serve. Violations are counted by planverify and
+// fail the Put without touching disk.
 func (c *Cache) Put(e *Entry) error {
 	if e.Key == "" {
 		return fmt.Errorf("plancache: empty key")
 	}
+	if err := planverify.CachePut(e.Perm, e.K, e.Reordered, e.Degraded, e.DegradedReason); err != nil {
+		c.mu.Lock()
+		c.stats.WriteErrors++
+		c.mu.Unlock()
+		return fmt.Errorf("plancache: rejecting entry %.12s: %w", e.Key, err)
+	}
 	data, err := EncodeEntry(e)
 	if err != nil {
 		return err
+	}
+	if err := checkReencode(data); err != nil {
+		planverify.Record(planverify.SiteCachePut,
+			planverify.Violation{Code: planverify.CodeReencodeMismatch, Detail: err.Error()})
+		c.mu.Lock()
+		c.stats.WriteErrors++
+		c.mu.Unlock()
+		return fmt.Errorf("plancache: rejecting entry %.12s: %w", e.Key, err)
 	}
 	path := filepath.Join(c.dir, e.Key+Ext)
 	if err := atomicio.WriteFileBytes(path, data); err != nil {
@@ -159,6 +183,37 @@ func (c *Cache) Put(e *Entry) error {
 	c.stats.Puts++
 	c.mu.Unlock()
 	return nil
+}
+
+// checkReencode holds the codec to the bit-identity invariant: the encoded
+// entry must decode and encode back to exactly the same bytes. A mismatch
+// means the codec would persist something it cannot faithfully reproduce —
+// caught here, before the write, instead of as quarantine at the next Open.
+func checkReencode(data []byte) error {
+	decoded, err := DecodeEntry(data)
+	if err != nil {
+		return fmt.Errorf("encoded entry does not decode: %w", err)
+	}
+	again, err := EncodeEntry(decoded)
+	if err != nil {
+		return fmt.Errorf("decoded entry does not re-encode: %w", err)
+	}
+	if !bytes.Equal(data, again) {
+		return fmt.Errorf("entry does not re-encode bit-identically (%d vs %d bytes)", len(data), len(again))
+	}
+	return nil
+}
+
+// Keys returns the keys of every loadable entry, in unspecified order. The
+// chaos harness uses it to sweep the cache for invariant violations.
+func (c *Cache) Keys() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		out = append(out, k)
+	}
+	return out
 }
 
 // Len returns the number of loadable entries.

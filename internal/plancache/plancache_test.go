@@ -10,7 +10,9 @@ import (
 	"testing"
 
 	"bootes/internal/faultinject"
+	"bootes/internal/leakcheck"
 	"bootes/internal/plancache/atomicio"
+	"bootes/internal/planverify"
 	"bootes/internal/sparse"
 	"bootes/internal/workloads"
 )
@@ -298,6 +300,7 @@ func TestCacheFilenameKeyMismatch(t *testing.T) {
 // TestCacheConcurrentAccess hammers one cache with concurrent writers and
 // readers across overlapping keys (run under -race via make race-serve).
 func TestCacheConcurrentAccess(t *testing.T) {
+	leakcheck.Goroutines(t)
 	dir := t.TempDir()
 	c, err := Open(dir)
 	if err != nil {
@@ -390,4 +393,79 @@ func ExampleKeyCSR() {
 	m := sparse.Identity(4, false)
 	fmt.Println(len(KeyCSR(m)))
 	// Output: 64
+}
+
+// TestPutRejectsDegradedEntry: a degraded plan reflects the moment's faults,
+// not the matrix — Put must refuse it before any disk I/O.
+func TestPutRejectsDegradedEntry(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry(t, testMatrix(t, 1))
+	e.Perm = sparse.IdentityPerm(len(e.Perm))
+	e.Reordered = false
+	e.K = 0
+	e.Degraded = true
+	e.DegradedReason = "requested: wall-clock budget exhausted; fell back to identity"
+	if err := c.Put(e); err == nil {
+		t.Fatal("degraded entry accepted")
+	}
+	if c.Len() != 0 {
+		t.Fatal("rejected entry reached the index")
+	}
+	if got := c.Stats().WriteErrors; got != 1 {
+		t.Fatalf("WriteErrors = %d, want 1", got)
+	}
+	if _, err := os.Stat(filepath.Join(c.Dir(), e.Key+Ext)); !os.IsNotExist(err) {
+		t.Fatal("rejected entry reached the disk")
+	}
+}
+
+// TestPutRejectsInvalidPlan: structural violations (bad perm, illegal K) must
+// fail Put without touching disk or the index.
+func TestPutRejectsInvalidPlan(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := testEntry(t, testMatrix(t, 2))
+	bad.Perm[0] = bad.Perm[1] // duplicate ⇒ not a bijection
+	if err := c.Put(bad); err == nil {
+		t.Fatal("non-bijective perm accepted")
+	}
+	badK := testEntry(t, testMatrix(t, 3))
+	badK.K = 3 // not a candidate cluster count
+	if err := c.Put(badK); err == nil {
+		t.Fatal("illegal K accepted")
+	}
+	if c.Len() != 0 {
+		t.Fatal("rejected entries reached the index")
+	}
+}
+
+// TestPutCatchesInjectedCorruption: with the PlanCorrupt point armed, a
+// perfectly healthy entry must be rejected — proof the cache-write site
+// actually runs the verifier.
+func TestPutCatchesInjectedCorruption(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	if err := faultinject.Arm(faultinject.PlanCorrupt, faultinject.Always()); err != nil {
+		t.Fatal(err)
+	}
+	before := planverify.BySite()[planverify.SiteCachePut]
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry(t, testMatrix(t, 4))
+	if err := c.Put(e); err == nil {
+		t.Fatal("injected corruption not caught at Put")
+	}
+	if got := planverify.BySite()[planverify.SiteCachePut]; got <= before {
+		t.Fatal("violation not recorded under the cache-put site")
+	}
+	faultinject.Reset()
+	if err := c.Put(e); err != nil {
+		t.Fatalf("healthy Put after disarm: %v", err)
+	}
 }

@@ -32,6 +32,7 @@ import (
 
 	"bootes/internal/faultinject"
 	"bootes/internal/plancache"
+	"bootes/internal/planverify"
 	"bootes/internal/reorder"
 	"bootes/internal/sparse"
 )
@@ -67,6 +68,13 @@ type Config struct {
 	Breaker BreakerConfig
 	// MaxUploadBytes bounds the request body (default 256 MB).
 	MaxUploadBytes int64
+	// UploadReadTimeout bounds how long a request may take to deliver its
+	// matrix body (default 30s). MaxBytesReader caps how *much* a client may
+	// send; this caps how *slowly* — a slowloris client trickling one byte a
+	// second holds a connection, not a pipeline slot, and is cut off here.
+	// Negative disables; ignored on transports without read-deadline
+	// support (tests).
+	UploadReadTimeout time.Duration
 	// AllowLocalPaths permits `{"path": ...}` / ?path= requests that read a
 	// matrix from the server's filesystem. Off by default: enable only for
 	// trusted local clients (the bootesd -allow-path flag).
@@ -86,6 +94,10 @@ type Stats struct {
 	Served, Shed, Coalesced, Degraded, BreakerShortCircuits int64
 	// Retries counts serve-level pipeline re-runs.
 	Retries int64
+	// VerifyViolations counts plan-verification violations observed by this
+	// server (corrupt cached entries treated as misses, pipeline plans
+	// replaced by identity). Any non-zero value is worth an operator's look.
+	VerifyViolations int64
 	// InFlight / Queued are instantaneous gauges.
 	InFlight, Queued int64
 	// Draining reports shutdown in progress.
@@ -114,7 +126,7 @@ type Server struct {
 	inflight sync.WaitGroup // tracks admitted pipeline executions
 
 	served, shed, coalesced, degraded, retries, breakerShort atomic.Int64
-	running, queued                                          atomic.Int64
+	running, queued, verifyBad                               atomic.Int64
 }
 
 // New validates cfg, applies defaults, and builds the server.
@@ -142,6 +154,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxUploadBytes <= 0 {
 		cfg.MaxUploadBytes = 256 << 20
 	}
+	if cfg.UploadReadTimeout == 0 {
+		cfg.UploadReadTimeout = 30 * time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
@@ -165,6 +180,12 @@ func New(cfg Config) (*Server, error) {
 
 // Handler returns the HTTP handler for the server's endpoints.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// SlotsInUse returns the number of admission (in-flight) semaphore slots
+// currently held. At rest it must be 0 — the invariant leakcheck and the
+// chaos harness assert after every episode: a non-zero reading with no
+// requests in flight means an admitted request leaked its slot.
+func (s *Server) SlotsInUse() int { return len(s.sem) }
 
 // Shutdown performs the graceful drain: new plan requests are refused with
 // 503 immediately, then Shutdown blocks until every admitted pipeline has
@@ -196,6 +217,7 @@ func (s *Server) Stats() Stats {
 		Degraded:             s.degraded.Load(),
 		BreakerShortCircuits: s.breakerShort.Load(),
 		Retries:              s.retries.Load(),
+		VerifyViolations:     s.verifyBad.Load(),
 		InFlight:             s.running.Load(),
 		Queued:               s.queued.Load(),
 		Draining:             s.draining.Load(),
@@ -254,6 +276,12 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "shutting down", http.StatusServiceUnavailable)
 		return
 	}
+	if d := s.cfg.UploadReadTimeout; d > 0 {
+		// Slowloris guard: the whole body must arrive within d. Best-effort —
+		// recorders and exotic transports lack deadline support, and a failure
+		// to set the deadline must not fail the request.
+		_ = http.NewResponseController(w).SetReadDeadline(time.Now().Add(d))
+	}
 	m, err := s.readMatrix(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -270,9 +298,25 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	key := plancache.KeyCSR(m)
 	if s.cfg.Cache != nil {
 		if e, ok := s.cfg.Cache.Get(key); ok {
-			s.served.Add(1)
-			s.respond(w, r, planResponseFromEntry(e), true, false, "")
-			return
+			// A cached plan is re-verified before it is served: disk contents
+			// survive process restarts, so a bad entry would otherwise replay
+			// forever. A violation demotes the hit to a miss — the pipeline
+			// recomputes and overwrites the entry.
+			vs := planverify.CheckEntryFields(e.Perm, e.K, e.Reordered, e.Degraded, e.DegradedReason)
+			if len(e.Perm) != m.Rows {
+				vs = append(vs, planverify.Violation{
+					Code:   planverify.CodePermInvalid,
+					Detail: fmt.Sprintf("entry permutation has %d rows, matrix has %d", len(e.Perm), m.Rows),
+				})
+			}
+			if len(vs) == 0 {
+				s.served.Add(1)
+				s.respond(w, r, planResponseFromEntry(e), true, false, "")
+				return
+			}
+			planverify.Record(planverify.SiteServeHit, vs...)
+			s.verifyBad.Add(int64(len(vs)))
+			s.cfg.Logf("planserve: cached plan %.12s failed verification, recomputing: %v", key, vs)
 		}
 	}
 
@@ -285,6 +329,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.served.Add(1)
 		s.degraded.Add(1)
 		res := identityResult(m, "circuit breaker open: pipeline recently degraded repeatedly")
+		// Even the locally fabricated fast-path plan goes through the
+		// verifier: "no 200 carries an unverified plan" holds with no
+		// exceptions (and chaos can corrupt this path like any other).
+		if vres, vs := planverify.VerifyResult(planverify.SiteServe, m, res, nil); len(vs) > 0 {
+			s.verifyBad.Add(int64(len(vs)))
+			res = vres
+		}
 		s.respond(w, r, planResponseFromResult(key, m, res), false, false, "open")
 		return
 	}
@@ -395,6 +446,15 @@ func (s *Server) planWithRetry(ctx context.Context, m *sparse.CSR) (*reorder.Res
 		if err != nil {
 			return nil, err
 		}
+		// Every attempt's plan is verified before the server considers it.
+		// A corrupt plan becomes a degraded identity plan whose reason
+		// ("plan verification failed") classifies as transient, so it is
+		// retried like any other transient degradation and, if it persists,
+		// counts against the breaker.
+		if vres, vs := planverify.VerifyResult(planverify.SiteServe, m, res, nil); len(vs) > 0 {
+			s.verifyBad.Add(int64(len(vs)))
+			res = vres
+		}
 		if !res.Degraded || !transientDegradation(res.DegradedReason) || attempt >= s.cfg.MaxRetries {
 			return res, nil
 		}
@@ -423,7 +483,11 @@ func (s *Server) planWithRetry(ctx context.Context, m *sparse.CSR) (*reorder.Res
 func transientDegradation(reason string) bool {
 	return strings.Contains(reason, "did not converge") ||
 		strings.Contains(reason, "contained panic") ||
-		strings.Contains(reason, "worker")
+		strings.Contains(reason, "worker") ||
+		// planverify replacements: corruption is transient (a recomputation
+		// may come back clean); "traffic regression predicted" deliberately
+		// does NOT match — the model is deterministic for the same matrix.
+		strings.Contains(reason, "plan verification failed")
 }
 
 // hardDegraded reports a plan the breaker should count as a failure: it

@@ -3,16 +3,22 @@ package planserve
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"bootes/internal/faultinject"
+	"bootes/internal/leakcheck"
 	"bootes/internal/plancache"
+	"bootes/internal/planverify"
 	"bootes/internal/reorder"
 	"bootes/internal/sparse"
 	"bootes/internal/workloads"
@@ -214,9 +220,11 @@ func TestBadDeadlineRejected(t *testing.T) {
 // queue, then asserts excess requests are rejected 429 immediately (the shed
 // path is a non-blocking select — no sleeps, no I/O) with a Retry-After.
 func TestOverloadShedsFast(t *testing.T) {
+	leakcheck.Goroutines(t)
 	gate := make(chan struct{})
 	p := &countingPlanner{gate: gate}
 	s, ts := newTestServer(t, Config{Plan: p.fn(), MaxInFlight: 1, MaxQueue: 1})
+	leakcheck.Zero(t, "planserve slots", func() int64 { return int64(s.SlotsInUse()) })
 
 	// Distinct matrices so singleflight cannot coalesce them.
 	launch := func(i int, out chan<- int) {
@@ -274,6 +282,7 @@ func waitUntil(t testing.TB, cond func() bool) {
 // exactly one pipeline execution per distinct key and an intact cache
 // afterwards. Run under -race by `make race-serve`.
 func TestCoalescingExactlyOnce(t *testing.T) {
+	leakcheck.Goroutines(t)
 	gate := make(chan struct{})
 	p := &countingPlanner{gate: gate}
 	dir := t.TempDir()
@@ -282,6 +291,7 @@ func TestCoalescingExactlyOnce(t *testing.T) {
 		t.Fatal(err)
 	}
 	s, ts := newTestServer(t, Config{Plan: p.fn(), Cache: cache, MaxInFlight: 8, MaxQueue: 8})
+	leakcheck.Zero(t, "planserve slots", func() int64 { return int64(s.SlotsInUse()) })
 
 	const distinct = 6
 	matrices := make([][]byte, distinct)
@@ -446,9 +456,11 @@ func TestSlowPipelineHitsGatewayTimeout(t *testing.T) {
 // TestGracefulShutdown: draining flips readyz and new plans to 503, waits
 // for the in-flight request, and returns once it completes.
 func TestGracefulShutdown(t *testing.T) {
+	leakcheck.Goroutines(t)
 	gate := make(chan struct{})
 	p := &countingPlanner{gate: gate}
 	s, ts := newTestServer(t, Config{Plan: p.fn()})
+	leakcheck.Zero(t, "planserve slots", func() int64 { return int64(s.SlotsInUse()) })
 
 	inflight := make(chan int, 1)
 	go func() {
@@ -532,14 +544,157 @@ func TestLocalPathsDisabledByDefault(t *testing.T) {
 
 func TestTransientClassification(t *testing.T) {
 	for reason, want := range map[string]bool{
-		"requested: eigensolver did not converge":                     true,
-		"implicit-similarity: contained panic (core: internal panic)": true,
-		"requested: memory estimate 123 B over budget":                false,
-		"wall-clock budget exhausted; fell back to identity":          false,
+		"requested: eigensolver did not converge":                                 true,
+		"implicit-similarity: contained panic (core: internal panic)":             true,
+		"requested: memory estimate 123 B over budget":                            false,
+		"wall-clock budget exhausted; fell back to identity":                      false,
+		"plan verification failed: perm-invalid; fell back to identity":           true,
+		"traffic regression predicted: traffic-regression; fell back to identity": false,
 		"": false,
 	} {
 		if got := transientDegradation(reason); got != want {
 			t.Errorf("transientDegradation(%q) = %v, want %v", reason, got, want)
 		}
+	}
+}
+
+// TestVerifyReplacesCorruptPipelinePlan: a pipeline emitting a non-bijective
+// permutation must never reach a client. The verifier replaces the plan with
+// a degraded identity, classifies it transient (so it is retried), counts the
+// violations, and keeps the cache clean.
+func TestVerifyReplacesCorruptPipelinePlan(t *testing.T) {
+	leakcheck.Goroutines(t)
+	p := &countingPlanner{make: func(m *sparse.CSR, _ int) (*reorder.Result, error) {
+		res := healthyResult(m)
+		res.Perm[0] = res.Perm[len(res.Perm)-1] // duplicate ⇒ not a bijection
+		return res, nil
+	}}
+	cache, err := plancache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{Plan: p.fn(), Cache: cache, MaxRetries: 1, RetryBackoff: time.Millisecond})
+	leakcheck.Zero(t, "planserve slots", func() int64 { return int64(s.SlotsInUse()) })
+
+	m := testMatrix(t, 1)
+	resp, body := postPlan(t, ts.URL, mmBody(t, m), "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var pr PlanResponse
+	if err := json.Unmarshal([]byte(body), &pr); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	if !pr.Degraded || !strings.Contains(pr.DegradedReason, "plan verification failed") {
+		t.Fatalf("corrupt plan served without the verification mark: %s", body)
+	}
+	if pr.Reordered {
+		t.Fatal("fallback plan still claims reordered")
+	}
+	if p.totalRuns() != 2 {
+		t.Fatalf("runs = %d, want 2 (verification failure is transient and retried once)", p.totalRuns())
+	}
+	if st := s.Stats(); st.VerifyViolations == 0 {
+		t.Fatal("VerifyViolations did not move")
+	}
+	if cache.Len() != 0 {
+		t.Fatal("a corrupt/degraded plan reached the cache")
+	}
+}
+
+// TestCorruptCacheEntryDemotedToMiss plants two decodable-but-invalid entries
+// directly in the cache directory (bypassing Put's verification): one whose
+// permutation belongs to a different row count, one marked degraded. Both
+// must be demoted to misses, recomputed, and the first overwritten with the
+// healthy plan.
+func TestCorruptCacheEntryDemotedToMiss(t *testing.T) {
+	leakcheck.Goroutines(t)
+	dir := t.TempDir()
+	mWrong := testMatrix(t, 3)
+	mDegraded := testMatrix(t, 4)
+	plant := func(e *plancache.Entry) {
+		t.Helper()
+		data, err := plancache.EncodeEntry(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Key+plancache.Ext), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plant(&plancache.Entry{Key: plancache.KeyCSR(mWrong), Perm: sparse.IdentityPerm(10)})
+	plant(&plancache.Entry{
+		Key:            plancache.KeyCSR(mDegraded),
+		Perm:           sparse.IdentityPerm(mDegraded.Rows),
+		Degraded:       true,
+		DegradedReason: "requested: eigensolver did not converge; fell back to identity",
+	})
+
+	cache, err := plancache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &countingPlanner{}
+	s, ts := newTestServer(t, Config{Plan: p.fn(), Cache: cache})
+
+	for _, m := range []*sparse.CSR{mWrong, mDegraded} {
+		resp, body := postPlan(t, ts.URL, mmBody(t, m), "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var pr PlanResponse
+		if err := json.Unmarshal([]byte(body), &pr); err != nil {
+			t.Fatal(err)
+		}
+		if pr.Cached {
+			t.Fatalf("invalid entry served as a cache hit: %s", body)
+		}
+		if pr.Degraded {
+			t.Fatalf("recomputation should have produced a healthy plan: %s", body)
+		}
+		if p.runsFor(plancache.KeyCSR(m)) != 1 {
+			t.Fatal("pipeline did not recompute the demoted hit")
+		}
+	}
+	if st := s.Stats(); st.VerifyViolations < 2 {
+		t.Fatalf("VerifyViolations = %d, want ≥ 2", st.VerifyViolations)
+	}
+	// The wrong-rows entry was overwritten by the healthy recomputation.
+	if e, ok := cache.Get(plancache.KeyCSR(mWrong)); !ok || len(e.Perm) != mWrong.Rows {
+		t.Fatal("healthy recomputation did not replace the invalid entry")
+	}
+	if planverify.BySite()[planverify.SiteServeHit] == 0 {
+		t.Fatal("violations not recorded under the serve-hit site")
+	}
+}
+
+// TestVerifyInjectedCorruptionCaughtAtServe arms the PlanCorrupt fault point
+// and asserts the serving layer's verifier catches it: every response is
+// still 200 but marked degraded with the verification reason, and the cache
+// stays empty.
+func TestVerifyInjectedCorruptionCaughtAtServe(t *testing.T) {
+	leakcheck.Goroutines(t)
+	t.Cleanup(faultinject.Reset)
+	if err := faultinject.Arm(faultinject.PlanCorrupt, faultinject.Always()); err != nil {
+		t.Fatal(err)
+	}
+	p := &countingPlanner{}
+	cache, err := plancache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{Plan: p.fn(), Cache: cache, MaxRetries: 1, RetryBackoff: time.Millisecond})
+	resp, body := postPlan(t, ts.URL, mmBody(t, testMatrix(t, 5)), "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "plan verification failed") {
+		t.Fatalf("injected corruption not caught: %s", body)
+	}
+	if cache.Len() != 0 {
+		t.Fatal("corrupt plan cached")
+	}
+	if s.Stats().VerifyViolations == 0 {
+		t.Fatal("VerifyViolations did not move")
 	}
 }
