@@ -1,13 +1,18 @@
 # Development targets for the Bootes reproduction.
 #
 #   make check   — vet + build + full test suite + fuzz seed corpus + the
-#                  short deterministic chaos run (tier-1 gate)
+#                  short deterministic chaos run + the observability coverage
+#                  gate (tier-1 gate)
+#   make cover   — per-package statement coverage report; enforces a floor on
+#                  internal/obs (metrics must stay tested), report-only
+#                  everywhere else
 #   make race    — race-detector pass over the root package and the internal
 #                  packages (including the ctx-aware pool and the concurrent
 #                  plan-cancellation stress test), with a multi-core scheduler
 #   make race-serve — focused race pass over the serving layer: the plan
-#                  cache's concurrent put/get paths and planserve's
-#                  coalescing/admission/breaker storms
+#                  cache's concurrent put/get paths, planserve's
+#                  coalescing/admission/breaker storms, and the metrics
+#                  registry's concurrent instrument updates
 #   make fuzz    — short fuzzing smoke over the sparse-format parsers, the
 #                  CSR constructor, and the plan-cache entry decoder (the
 #                  hostile-input hardening targets)
@@ -22,9 +27,11 @@ FUZZTIME ?= 10s
 CHAOS_EPISODES ?= 2000
 CHAOS_SEED ?= 20250806
 
-.PHONY: check vet build test race race-serve fuzz fuzz-seeds chaos chaos-short bench report
+OBS_COVER_FLOOR ?= 60.0
 
-check: vet build test fuzz-seeds chaos-short
+.PHONY: check vet build test cover race race-serve fuzz fuzz-seeds chaos chaos-short bench report
+
+check: vet build test fuzz-seeds chaos-short cover
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +42,18 @@ build:
 test:
 	$(GO) test ./...
 
+# Statement coverage. internal/obs is gated: the observability layer is what
+# the rest of the system relies on for truth during incidents, so letting its
+# tests rot defeats the point. Other packages are report-only.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/... ./cmd/... .
+	$(GO) tool cover -func=cover.out | tail -n 1
+	@total=$$($(GO) test -cover ./internal/obs/ | \
+		sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	echo "internal/obs coverage: $$total% (floor $(OBS_COVER_FLOOR)%)"; \
+	awk "BEGIN{exit !($$total >= $(OBS_COVER_FLOOR))}" || \
+		{ echo "FAIL: internal/obs coverage $$total% below floor $(OBS_COVER_FLOOR)%"; exit 1; }
+
 # GOMAXPROCS is forced above 1 so the race pass schedules real concurrency
 # even on single-core CI runners; the timeout covers the ~10-20x race-detector
 # slowdown of the experiment drivers on such runners.
@@ -43,7 +62,7 @@ race:
 
 race-serve:
 	GOMAXPROCS=4 $(GO) test -race -count=2 -timeout 10m \
-		./internal/plancache/... ./internal/planserve/
+		./internal/plancache/... ./internal/planserve/ ./internal/obs/
 
 # Seed-corpus-only pass: every fuzz target replays its checked-in corpus as
 # plain tests (no mutation engine), so check catches corpus regressions fast.

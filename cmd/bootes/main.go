@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	bootes analyze  -in A.mtx [-timeout 30s] [-strict]   # features + gate decision
+//	bootes analyze  -in A.mtx [-timeout 30s] [-strict] [-stats]   # features + gate decision
 //	bootes reorder  -in A.mtx -out A_reordered.mtx [-k 8] [-force] [-model model.json]
 //	bootes simulate -in A.mtx [-accel Flexagon] [-reorder bootes|gamma|graph|hier|none]
 //	bootes compare  -in A.mtx [-accel GAMMA]      # all methods side by side
@@ -31,12 +31,17 @@ import (
 	"bootes"
 	"bootes/internal/accel"
 	"bootes/internal/core"
+	"bootes/internal/obs"
 	"bootes/internal/plancache/atomicio"
 	"bootes/internal/reorder"
 	"bootes/internal/sparse"
 	"bootes/internal/spy"
 	"bootes/internal/trafficmodel"
 )
+
+// osExit is swapped out by in-process CLI tests so exit codes can be asserted
+// without forking a subprocess.
+var osExit = os.Exit
 
 func main() {
 	log.SetFlags(0)
@@ -65,7 +70,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: bootes <analyze|reorder|simulate|compare|spy|plan> [flags]")
-	os.Exit(2)
+	osExit(2)
 }
 
 // planCtx derives the planning context from a -timeout flag value. The
@@ -87,7 +92,7 @@ func warnDegraded(degraded bool, reason string, strict bool) {
 	}
 	log.Printf("warning: plan degraded: %s", reason)
 	if strict {
-		os.Exit(1)
+		osExit(1)
 	}
 }
 
@@ -134,6 +139,7 @@ func cmdAnalyze(args []string) {
 	seed := fs.Int64("seed", 1, "random seed")
 	timeout := fs.Duration("timeout", 0, "planning deadline (0 = none)")
 	strict := fs.Bool("strict", false, "exit non-zero if the plan is degraded")
+	stats := fs.Bool("stats", false, "print a per-stage planning time table")
 	fs.Parse(args)
 	if *in == "" {
 		log.Fatal("analyze: -in is required")
@@ -149,6 +155,11 @@ func cmdAnalyze(args []string) {
 
 	ctx, cancel := planCtx(*timeout)
 	defer cancel()
+	var trace *obs.Trace
+	if *stats {
+		trace = obs.Default().NewTrace()
+		ctx = obs.WithTrace(ctx, trace)
+	}
 	opts := &bootes.Options{Seed: *seed, Model: loadModel(*model)}
 	if *timeout > 0 {
 		opts.Budget.MaxWallClock = *timeout
@@ -162,6 +173,9 @@ func cmdAnalyze(args []string) {
 			plan.K, plan.PreprocessSeconds, plan.FootprintBytes>>10)
 	} else {
 		fmt.Println("decision: do not reorder (predicted benefit below threshold)")
+	}
+	if trace != nil {
+		fmt.Print(trace.Table())
 	}
 	warnDegraded(plan.Degraded, plan.DegradedReason, *strict)
 }
@@ -368,7 +382,7 @@ func cmdCompare(args []string) {
 		}
 	}
 	if *strict && len(degradedReasons) > 0 {
-		os.Exit(1)
+		osExit(1)
 	}
 }
 

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bootes/internal/faultinject"
+	"bootes/internal/sparse"
+	"bootes/internal/workloads"
+)
+
+// exitSentinel is what the swapped-in osExit panics with so a command under
+// test unwinds instead of killing the test process.
+type exitSentinel struct{ code int }
+
+// runCLI runs fn with osExit captured and stdout redirected, returning the
+// printed output, the exit code, and whether an exit was requested at all.
+func runCLI(t *testing.T, fn func()) (out string, code int, exited bool) {
+	t.Helper()
+	oldExit := osExit
+	osExit = func(c int) { panic(exitSentinel{c}) }
+	oldStdout := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() {
+		os.Stdout = oldStdout
+		osExit = oldExit
+		w.Close()
+		b, rerr := io.ReadAll(r)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		out = string(b)
+		if p := recover(); p != nil {
+			s, ok := p.(exitSentinel)
+			if !ok {
+				panic(p)
+			}
+			code, exited = s.code, true
+		}
+	}()
+	fn()
+	return
+}
+
+// testMatrixFile writes the canonical scrambled block-diagonal workload — a
+// matrix the gate reliably chooses to reorder — as a temp .mtx file.
+func testMatrixFile(t *testing.T) string {
+	t.Helper()
+	m := workloads.ScrambledBlock(workloads.Params{
+		Rows: 48, Cols: 48, Density: 0.08, Seed: 1, Groups: 4,
+	})
+	path := filepath.Join(t.TempDir(), "a.mtx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.WriteMatrixMarket(f, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestUsageExitsTwo(t *testing.T) {
+	_, code, exited := runCLI(t, usage)
+	if !exited || code != 2 {
+		t.Fatalf("usage: exited=%v code=%d, want exit 2", exited, code)
+	}
+}
+
+func TestAnalyzeStatsPrintsStageTable(t *testing.T) {
+	in := testMatrixFile(t)
+	out, code, exited := runCLI(t, func() {
+		cmdAnalyze([]string{"-in", in, "-stats"})
+	})
+	if exited {
+		t.Fatalf("healthy analyze exited with code %d\n%s", code, out)
+	}
+	for _, want := range []string{"decision:", "stage times:", "features", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze -stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeStrictExitsOnDegradedPlan(t *testing.T) {
+	in := testMatrixFile(t)
+	if err := faultinject.Arm(faultinject.EigenNoConverge, faultinject.Always()); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+
+	out, code, exited := runCLI(t, func() {
+		cmdAnalyze([]string{"-in", in, "-strict"})
+	})
+	if !exited || code != 1 {
+		t.Fatalf("strict analyze of degraded plan: exited=%v code=%d, want exit 1\n%s",
+			exited, code, out)
+	}
+
+	// Without -strict the same degraded plan only warns.
+	out, code, exited = runCLI(t, func() {
+		cmdAnalyze([]string{"-in", in})
+	})
+	if exited {
+		t.Fatalf("non-strict analyze exited with code %d\n%s", code, out)
+	}
+}
+
+func TestCompareStrictExitsOnDegradedPlan(t *testing.T) {
+	in := testMatrixFile(t)
+	if err := faultinject.Arm(faultinject.EigenNoConverge, faultinject.Always()); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+
+	out, code, exited := runCLI(t, func() {
+		cmdCompare([]string{"-in", in, "-strict"})
+	})
+	if !exited || code != 1 {
+		t.Fatalf("strict compare with degraded bootes plan: exited=%v code=%d, want exit 1\n%s",
+			exited, code, out)
+	}
+	// The comparison table itself still prints before the exit.
+	for _, want := range []string{"method", "none", "bootes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareHealthyRunsClean(t *testing.T) {
+	in := testMatrixFile(t)
+	out, code, exited := runCLI(t, func() {
+		cmdCompare([]string{"-in", in, "-strict"})
+	})
+	if exited {
+		t.Fatalf("healthy strict compare exited with code %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "vs none") {
+		t.Errorf("compare output missing header:\n%s", out)
+	}
+}

@@ -10,6 +10,8 @@
 //	GET  /healthz                              liveness
 //	GET  /readyz                               admission (503 while draining)
 //	GET  /statsz                               serving + cache + breaker counters
+//	GET  /metrics                              Prometheus text exposition
+//	GET  /debug/pprof/*                        runtime profiles (only with -pprof)
 //
 // Quick start:
 //
@@ -23,12 +25,14 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"bootes"
+	"bootes/internal/obs"
 	"bootes/internal/plancache"
 	"bootes/internal/planserve"
 	"bootes/internal/reorder"
@@ -56,6 +60,7 @@ func main() {
 	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "maximum time to read a request's headers")
 	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "maximum time to read an entire request")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle timeout")
+	pprofOn := flag.Bool("pprof", false, "serve runtime profiles on /debug/pprof/ (CPU, heap, goroutine, ...)")
 	flag.Parse()
 
 	var model *bootes.Model
@@ -94,9 +99,28 @@ func main() {
 		UploadReadTimeout: *uploadTimeout,
 		AllowLocalPaths:   *allowPath,
 		Seed:              *seed,
+		Metrics:           obs.Default(),
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// The daemon owns the process, so its serving metrics live on the
+	// process-wide registry: /metrics then carries serving, pipeline, cache,
+	// and verifier families in one exposition. Profiling handlers are
+	// registered explicitly (never via the http.DefaultServeMux side effect)
+	// and only when asked — pprof on a public address is an information leak.
+	handler := srv.Handler()
+	if *pprofOn {
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+		log.Printf("pprof enabled on %s/debug/pprof/", *addr)
 	}
 
 	// Server-side timeouts close the slowloris hole: a client that trickles
@@ -105,7 +129,7 @@ func main() {
 	// large upload is bounded by its own clock, not the header one.
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,
 		IdleTimeout:       *idleTimeout,

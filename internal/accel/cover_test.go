@@ -1,0 +1,85 @@
+package accel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCacheLineBytesAndReset(t *testing.T) {
+	c := NewCache(1<<10, 64, 4)
+	if got := c.LineBytes(); got != 64 {
+		t.Fatalf("LineBytes = %d, want 64", got)
+	}
+	// Touch each line twice in a row (a guaranteed hit even under LRU
+	// thrash) while scanning past capacity so evictions happen too.
+	for addr := int64(0); addr < 2<<10; addr += 64 {
+		c.AccessLine(addr)
+		c.AccessLine(addr)
+	}
+	if c.Hits == 0 || c.Misses == 0 || c.Evictions == 0 {
+		t.Fatalf("expected activity before reset: hits=%d misses=%d evictions=%d",
+			c.Hits, c.Misses, c.Evictions)
+	}
+	c.Reset()
+	if c.Hits != 0 || c.Misses != 0 || c.Evictions != 0 {
+		t.Errorf("counters survived Reset: hits=%d misses=%d evictions=%d",
+			c.Hits, c.Misses, c.Evictions)
+	}
+	// Every line was invalidated: the first access after Reset is a miss
+	// even for a line that was resident before.
+	if !c.AccessLine(0) {
+		t.Error("line survived Reset as a hit")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	s := Flexagon.String()
+	for _, want := range []string{"Flexagon", "PEs=67", "cache=1024KB", "line=64B", "ways=16"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Flexagon.String() = %q, missing %q", s, want)
+		}
+	}
+	// The zero config renders with defaults applied, not zeros.
+	if s := (Config{}).String(); !strings.Contains(s, "line=64B") {
+		t.Errorf("zero Config.String() = %q, defaults not applied", s)
+	}
+}
+
+func TestTrafficAdd(t *testing.T) {
+	tr := Traffic{ABytes: 1, BBytes: 2, CBytes: 3}
+	tr.Add(Traffic{ABytes: 10, BBytes: 20, CBytes: 30})
+	if tr != (Traffic{ABytes: 11, BBytes: 22, CBytes: 33}) {
+		t.Errorf("Add = %+v", tr)
+	}
+	if tr.Total() != 66 {
+		t.Errorf("Total = %d, want 66", tr.Total())
+	}
+}
+
+func TestNormalizedTrafficZeroCompulsory(t *testing.T) {
+	var r Result
+	a, b, c := r.NormalizedTraffic()
+	if a != 0 || b != 0 || c != 0 {
+		t.Errorf("empty result normalized to %v %v %v, want zeros", a, b, c)
+	}
+}
+
+func TestMemoryShareZeroEnergy(t *testing.T) {
+	if got := (Energy{}).MemoryShare(); got != 0 {
+		t.Errorf("zero energy MemoryShare = %v, want 0", got)
+	}
+}
+
+func TestPEUtilizationZeroCycles(t *testing.T) {
+	var r Result
+	if got := r.PEUtilization(); got != 0 {
+		t.Errorf("zero-cycle utilization = %v, want 0", got)
+	}
+}
+
+func TestSecondsUsesClock(t *testing.T) {
+	r := Result{Cycles: 2e9, Config: Config{ClockGHz: 2}}
+	if got := r.Seconds(); got != 1 {
+		t.Errorf("Seconds = %v, want 1 (2e9 cycles at 2 GHz)", got)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"bootes"
 	"bootes/internal/faultinject"
 	"bootes/internal/leakcheck"
+	"bootes/internal/obs"
 	"bootes/internal/parallel"
 	"bootes/internal/plancache"
 	"bootes/internal/planserve"
@@ -144,6 +145,7 @@ func Run(cfg Config) (*Report, error) {
 		if err := leakcheck.SettleZero("parallel extras", parallel.Extras); err != nil {
 			ep.violatef("worker pool not quiescent: %v", err)
 		}
+		ep.checkObs("default registry", obs.Default())
 		ep.sweepCache()
 		rep.Episodes++
 	}
@@ -299,6 +301,47 @@ func (e *episode) checkPlanShape(where string, rows int, perm sparse.Permutation
 	}
 }
 
+// checkObs asserts the observability invariants on a registry after an
+// episode: the spans-open gauge settles back to zero (every stage span closed
+// despite injected faults, contained panics, and cancellations), no counter
+// or gauge has gone negative, and every histogram series is self-consistent —
+// bucket counts sum to the series count, and a zero count implies a zero sum.
+func (e *episode) checkObs(where string, reg *obs.Registry) {
+	if err := leakcheck.SettleZero(where+" spans open", func() int64 {
+		return reg.Gauge(obs.SpansOpenName, "").Value()
+	}); err != nil {
+		e.violatef("obs: %v", err)
+	}
+	for _, fam := range reg.Snapshot() {
+		for _, s := range fam.Series {
+			label := fam.Name
+			if s.Labels != "" {
+				label += "{" + s.Labels + "}"
+			}
+			switch fam.Type {
+			case obs.TypeCounter, obs.TypeGauge:
+				if s.Value < 0 {
+					e.violatef("obs: %s: %s is negative: %d", where, label, s.Value)
+				}
+			case obs.TypeHistogram:
+				var n uint64
+				for _, c := range s.BucketCounts {
+					n += c
+				}
+				if n != s.Count {
+					e.violatef("obs: %s: %s bucket counts sum to %d, count is %d", where, label, n, s.Count)
+				}
+				if s.Count == 0 && s.Sum != 0 {
+					e.violatef("obs: %s: %s has sum %g with zero observations", where, label, s.Sum)
+				}
+				if s.Sum < 0 {
+					e.violatef("obs: %s: %s has negative sum %g", where, label, s.Sum)
+				}
+			}
+		}
+	}
+}
+
 // sweepCache reopens every cache directory the episode used and asserts no
 // corrupt or degraded entry survived: every loadable entry passes the full
 // field check, and anything undecodable was quarantined, not served.
@@ -410,6 +453,7 @@ func scenarioServeHTTP(e *episode) {
 			Extra: map[string]float64{"k": float64(p.K)},
 		}, nil
 	}
+	reg := obs.NewRegistry()
 	srv, err := planserve.New(planserve.Config{
 		Plan:            plan,
 		Cache:           cache,
@@ -420,6 +464,7 @@ func scenarioServeHTTP(e *episode) {
 		RetryBackoff:    time.Millisecond,
 		Breaker:         planserve.BreakerConfig{FailureThreshold: 2, Cooldown: 10 * time.Millisecond},
 		Seed:            e.rng.Int63(),
+		Metrics:         reg,
 		Logf:            func(string, ...any) {},
 	})
 	if err != nil {
@@ -493,6 +538,8 @@ func scenarioServeHTTP(e *episode) {
 	}); err != nil {
 		e.violatef("serve-http: %v", err)
 	}
+	// The drained server's registry must also be quiescent and consistent.
+	e.checkObs("serve-http registry", reg)
 }
 
 // scenarioCacheBitFlip plants healthy entries, flips one random bit in one

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bootes/internal/eigen"
+	"bootes/internal/obs"
 	"bootes/internal/reorder"
 	"bootes/internal/sparse"
 )
@@ -99,6 +100,18 @@ func attemptSpectral(ctx context.Context, opts SpectralOptions, a *sparse.CSR) (
 // Every degradation is recorded in Result.Degraded / Result.DegradedReason;
 // with no faults and a zero Budget the result is bit-identical to Reorder's.
 func (p *Pipeline) ReorderContext(ctx context.Context, a *sparse.CSR) (res *reorder.Result, err error) {
+	// Registered before the recover defer so it observes the converted error:
+	// every exit from planning lands in bootes_plans_total exactly once.
+	defer func() {
+		switch {
+		case err != nil:
+			obs.PlanOutcome(ctx, obs.OutcomeError)
+		case res != nil && res.Degraded:
+			obs.PlanOutcome(ctx, obs.OutcomeDegraded)
+		case res != nil:
+			obs.PlanOutcome(ctx, obs.OutcomeHealthy)
+		}
+	}()
 	defer func() {
 		if rec := recover(); rec != nil {
 			res, err = nil, fmt.Errorf("%w: %v", ErrInternalPanic, rec)
@@ -108,7 +121,10 @@ func (p *Pipeline) ReorderContext(ctx context.Context, a *sparse.CSR) (res *reor
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	endFeatures := obs.StartStage(ctx, obs.StageFeatures)
+	defer endFeatures()
 	label, feats, err := p.Decide(a)
+	endFeatures()
 	if err != nil {
 		return nil, err
 	}
@@ -161,12 +177,15 @@ func (p *Pipeline) ReorderContext(ctx context.Context, a *sparse.CSR) (res *reor
 			break
 		}
 		if est := estimateSpectralFootprint(a, r.opts); p.Budget.memoryExceeded(est) {
+			obs.RungFailure(ctx, r.name)
 			reasons = append(reasons,
 				fmt.Sprintf("%s: memory estimate %d B over budget", r.name, est))
 			continue
 		}
+		obs.RungAttempt(ctx, r.name)
 		sr, err := attemptSpectral(runCtx, r.opts, a)
 		if err != nil {
+			obs.RungFailure(ctx, r.name)
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				return nil, ctxErr
 			}

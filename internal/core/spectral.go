@@ -13,6 +13,7 @@ import (
 
 	"bootes/internal/cluster"
 	"bootes/internal/eigen"
+	"bootes/internal/obs"
 	"bootes/internal/sparse"
 )
 
@@ -94,6 +95,10 @@ func (s Spectral) ReorderContext(ctx context.Context, a *sparse.CSR) (*SpectralR
 	)
 	// Column degrees are walked once and shared between the hub-threshold
 	// heuristic and the hub-dropping pass inside similarity construction.
+	// Stage spans close via defer too so a contained panic cannot leak an
+	// open span past the ladder's recovery.
+	endSimilarity := obs.StartStage(ctx, obs.StageSimilarity)
+	defer endSimilarity()
 	hub, colCounts := resolveHub(a, opts.HubThreshold)
 	if opts.ImplicitSimilarity {
 		impl := eigen.NewImplicitSimilarityCappedWithCounts(a, hub, colCounts)
@@ -107,6 +112,7 @@ func (s Spectral) ReorderContext(ctx context.Context, a *sparse.CSR) (*SpectralR
 		simBytes = sim.ModeledBytes()
 		op = eigen.NewNormalizedSimilarity(sim)
 	}
+	endSimilarity()
 
 	// Step 3: top-k eigenvectors via Lanczos. Clustering only needs the
 	// invariant subspace approximately, so the defaults trade residual
@@ -128,7 +134,10 @@ func (s Spectral) ReorderContext(ctx context.Context, a *sparse.CSR) (*SpectralR
 			eo.MaxBasis = 48
 		}
 	}
+	endEigensolve := obs.StartStage(ctx, obs.StageEigensolve)
+	defer endEigensolve()
 	res, err := eigen.LargestContext(ctx, op, eo)
+	endEigensolve()
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
@@ -140,6 +149,8 @@ func (s Spectral) ReorderContext(ctx context.Context, a *sparse.CSR) (*SpectralR
 	// eigenvector coordinates), with Ng–Jordan–Weiss row normalization so
 	// cluster membership is decided by embedding *direction* rather than
 	// the degree-dependent magnitude.
+	endKMeans := obs.StartStage(ctx, obs.StageKMeans)
+	defer endKMeans()
 	embedding := buildEmbedding(res.Vectors, n, k)
 	ko := opts.KMeans
 	ko.K = k
@@ -153,13 +164,17 @@ func (s Spectral) ReorderContext(ctx context.Context, a *sparse.CSR) (*SpectralR
 		ko.Restarts = 2
 	}
 	km, err := cluster.KMeansContext(ctx, embedding, n, k, ko)
+	endKMeans()
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
 		return nil, fmt.Errorf("core: k-means failed: %w", err)
 	}
+	endPermute := obs.StartStage(ctx, obs.StagePermute)
+	defer endPermute()
 	perm := cluster.PermutationFromAssignment(km.Assign, k, embedding, k, opts.Order)
+	endPermute()
 
 	// Peak footprint model: the similarity matrix coexists with the degree
 	// arrays and the Lanczos basis; per the paper S is freed before k-means,

@@ -8,6 +8,7 @@ import (
 	"bootes/internal/cluster"
 	"bootes/internal/eigen"
 	"bootes/internal/faultinject"
+	"bootes/internal/obs"
 	"bootes/internal/parallel"
 	"bootes/internal/sparse"
 )
@@ -54,7 +55,17 @@ func SpectralSweepContext(ctx context.Context, a *sparse.CSR, ks []int, opts Spe
 		kmax = n
 	}
 
+	// The sweep span covers the whole call; the sequential shared-embedding
+	// work additionally gets similarity and eigensolve spans. The per-k
+	// k-means fan-out is deliberately left uninstrumented: spans from
+	// concurrent workers would interleave clock reads nondeterministically,
+	// and the sweep span already accounts for that time.
+	endSweep := obs.StartStage(ctx, obs.StageSweep)
+	defer endSweep()
+
 	embedStart := time.Now()
+	endSimilarity := obs.StartStage(ctx, obs.StageSimilarity)
+	defer endSimilarity()
 	hub, colCounts := resolveHub(a, opts.HubThreshold)
 	var op eigen.Operator
 	if opts.ImplicitSimilarity {
@@ -66,12 +77,16 @@ func SpectralSweepContext(ctx context.Context, a *sparse.CSR, ks []int, opts Spe
 		}
 		op = eigen.NewNormalizedSimilarity(sim)
 	}
+	endSimilarity()
 	eo := opts.Eigen
 	eo.K = kmax
 	if eo.Seed == 0 {
 		eo.Seed = opts.Seed
 	}
+	endEigensolve := obs.StartStage(ctx, obs.StageEigensolve)
+	defer endEigensolve()
 	res, err := eigen.LargestContext(ctx, op, eo)
+	endEigensolve()
 	if err != nil {
 		return nil, err
 	}

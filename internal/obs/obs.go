@@ -1,0 +1,544 @@
+// Package obs is the Bootes observability layer: a dependency-free metrics
+// registry (counters, gauges, fixed-bucket histograms) with deterministic,
+// sorted Prometheus-text exposition, plus lightweight per-plan stage spans
+// (trace.go) that answer "where did this plan's time go?".
+//
+// Design constraints, in order:
+//
+//   - No external dependencies. The rest of the repo is stdlib-only and the
+//     registry must be embeddable in every test without pulling a client
+//     library; the Prometheus text format is simple enough to emit directly.
+//   - Deterministic output. Families render sorted by name, series sorted by
+//     label value, floats via strconv's shortest round-trip form, so two
+//     registries holding equal values render byte-identical text — the
+//     golden tests depend on it.
+//   - Race-clean and cheap. Counters and gauges are single atomics;
+//     histograms take one short mutex per observation. Instruments are
+//     get-or-create, so call sites register idempotently and never keep
+//     global instrument variables alive across test runs.
+//
+// Naming convention (enforced at registration): every metric name matches
+// ^bootes_[a-z0-9_]+$; counters end in _total; histograms end in a unit
+// suffix (_seconds or _bytes). Violations panic — a bad name is a programmer
+// error, caught by the first test that touches the call site.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MetricType discriminates the three instrument kinds.
+type MetricType int
+
+// The instrument kinds, in exposition-format spelling.
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+// String returns the Prometheus TYPE keyword.
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+var (
+	nameRE  = regexp.MustCompile(`^bootes_[a-z0-9_]+$`)
+	labelRE = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+)
+
+// Registry holds a set of metric families. The zero value is not usable;
+// create with NewRegistry or use Default.
+type Registry struct {
+	mu   sync.Mutex
+	now  func() time.Time
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry using the real clock.
+func NewRegistry() *Registry {
+	return &Registry{now: time.Now, fams: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry. Library code (the pipeline's
+// stage spans, planverify's violation counters) records here unless a
+// context carries another registry; bootesd serves it on /metrics.
+func Default() *Registry { return defaultRegistry }
+
+// SetNow overrides the registry clock (tests: fake, deterministic time).
+// nil restores the real clock.
+func (r *Registry) SetNow(fn func() time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fn == nil {
+		fn = time.Now
+	}
+	r.now = fn
+}
+
+// Now reads the registry clock.
+func (r *Registry) Now() time.Time {
+	r.mu.Lock()
+	fn := r.now
+	r.mu.Unlock()
+	return fn()
+}
+
+// family is one named metric with all its labeled series.
+type family struct {
+	name    string
+	help    string
+	typ     MetricType
+	labels  []string  // label names; empty for a scalar family
+	buckets []float64 // histogram upper bounds, strictly increasing
+
+	mu     sync.Mutex
+	series map[string]any // labelKey → *Counter | *Gauge | *Histogram
+	fn     func() int64   // Func-backed scalar (counter or gauge view)
+}
+
+// register returns the family for name, creating it on first use and
+// panicking when a second registration disagrees on type, help, labels, or
+// buckets — silent divergence would corrupt the exposition.
+func (r *Registry) register(name, help string, typ MetricType, labels []string, buckets []float64) *family {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: metric name %q does not match %s", name, nameRE))
+	}
+	switch typ {
+	case TypeCounter:
+		if !strings.HasSuffix(name, "_total") {
+			panic(fmt.Sprintf("obs: counter %q must end in _total", name))
+		}
+	case TypeHistogram:
+		if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+			panic(fmt.Sprintf("obs: histogram %q must end in a unit suffix (_seconds or _bytes)", name))
+		}
+		if len(buckets) == 0 {
+			panic(fmt.Sprintf("obs: histogram %q needs at least one bucket", name))
+		}
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] <= buckets[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q buckets not strictly increasing: %v", name, buckets))
+			}
+		}
+	case TypeGauge:
+		if strings.HasSuffix(name, "_total") {
+			panic(fmt.Sprintf("obs: gauge %q must not end in _total", name))
+		}
+	}
+	for _, l := range labels {
+		if !labelRE.MatchString(l) {
+			panic(fmt.Sprintf("obs: label name %q on %q invalid", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.typ != typ || !equalStrings(f.labels, labels) || !equalFloats(f.buckets, buckets) {
+			panic(fmt.Sprintf("obs: conflicting re-registration of %q", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels:  append([]string(nil), labels...),
+		buckets: append([]float64(nil), buckets...),
+		series:  make(map[string]any),
+	}
+	r.fams[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// labelKey renders label values into the canonical series key, which doubles
+// as the exposition's label block (sans braces when empty).
+func (f *family) labelKey(values []string) string {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	if len(values) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, v := range values {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(f.labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func (f *family) get(values []string, make func() any) any {
+	key := f.labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := make()
+	f.series[key] = s
+	return s
+}
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta, which must be non-negative: counters only go up.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("obs: counter decremented")
+	}
+	c.v.Add(delta)
+}
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an int64 that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by delta (negative allowed) and returns the new
+// value — callers using a gauge as a bounded admission count need the
+// post-increment reading atomically.
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution of float64 observations.
+type Histogram struct {
+	buckets []float64
+	mu      sync.Mutex
+	counts  []uint64 // per-bucket (non-cumulative); last slot is the +Inf overflow
+	sum     float64
+	count   uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.buckets, v) // first bucket with bound ≥ v
+	h.mu.Lock()
+	h.counts[idx]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Counter returns the scalar counter for name, registering it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, TypeCounter, nil, nil)
+	return f.get(nil, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the scalar gauge for name, registering it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, TypeGauge, nil, nil)
+	return f.get(nil, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the scalar histogram for name with the given bucket
+// upper bounds (strictly increasing; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, TypeHistogram, nil, buckets)
+	return f.get(nil, func() any {
+		return &Histogram{buckets: f.buckets, counts: make([]uint64, len(f.buckets)+1)}
+	}).(*Histogram)
+}
+
+// CounterFunc registers a counter whose value is read from fn at exposition
+// time — a view over a counter another subsystem already maintains.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	f := r.register(name, help, TypeCounter, nil, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	f := r.register(name, help, TypeGauge, nil, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the labeled counter family for name.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	if len(labelNames) == 0 {
+		panic("obs: CounterVec needs at least one label; use Counter")
+	}
+	return &CounterVec{r.register(name, help, TypeCounter, labelNames, nil)}
+}
+
+// With returns the counter for the given label values (in label-name order).
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.get(values, func() any { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the labeled gauge family for name.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	if len(labelNames) == 0 {
+		panic("obs: GaugeVec needs at least one label; use Gauge")
+	}
+	return &GaugeVec{r.register(name, help, TypeGauge, labelNames, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.get(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns the labeled histogram family for name.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if len(labelNames) == 0 {
+		panic("obs: HistogramVec needs at least one label; use Histogram")
+	}
+	return &HistogramVec{r.register(name, help, TypeHistogram, labelNames, buckets)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.get(values, func() any {
+		return &Histogram{buckets: v.f.buckets, counts: make([]uint64, len(v.f.buckets)+1)}
+	}).(*Histogram)
+}
+
+// SeriesSnapshot is one labeled series' state at snapshot time.
+type SeriesSnapshot struct {
+	// Labels is the canonical rendered label block (empty for scalars).
+	Labels string
+	// Value is the counter or gauge value (unused for histograms).
+	Value int64
+	// Count / Sum / BucketCounts describe a histogram; BucketCounts is
+	// non-cumulative with the +Inf overflow in the last slot.
+	Count        uint64
+	Sum          float64
+	BucketCounts []uint64
+}
+
+// FamilySnapshot is one metric family's state at snapshot time.
+type FamilySnapshot struct {
+	Name    string
+	Help    string
+	Type    MetricType
+	Buckets []float64
+	Series  []SeriesSnapshot
+}
+
+// Snapshot captures every family and series, sorted by name then label key —
+// the exposition order. The chaos harness and the lint tests introspect it.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{
+			Name:    f.name,
+			Help:    f.help,
+			Type:    f.typ,
+			Buckets: append([]float64(nil), f.buckets...),
+		}
+		f.mu.Lock()
+		if f.fn != nil {
+			fs.Series = append(fs.Series, SeriesSnapshot{Value: f.fn()})
+		}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ss := SeriesSnapshot{Labels: k}
+			switch m := f.series[k].(type) {
+			case *Counter:
+				ss.Value = m.Value()
+			case *Gauge:
+				ss.Value = m.Value()
+			case *Histogram:
+				m.mu.Lock()
+				ss.Count = m.count
+				ss.Sum = m.sum
+				ss.BucketCounts = append([]uint64(nil), m.counts...)
+				m.mu.Unlock()
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		f.mu.Unlock()
+		out = append(out, fs)
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), deterministically: families sorted by name, series
+// by label key, floats in shortest round-trip form.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return writeFamilies(w, r.Snapshot())
+}
+
+// WriteMerged renders several registries as one exposition. When two
+// registries hold a family with the same name (bootesd registers its serving
+// metrics directly on Default), the first registry's family wins and later
+// duplicates are skipped, keeping the output well-formed.
+func WriteMerged(w io.Writer, regs ...*Registry) error {
+	seen := make(map[string]bool)
+	var fams []FamilySnapshot
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		for _, f := range r.Snapshot() {
+			if seen[f.Name] {
+				continue
+			}
+			seen[f.Name] = true
+			fams = append(fams, f)
+		}
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+	return writeFamilies(w, fams)
+}
+
+func writeFamilies(w io.Writer, fams []FamilySnapshot) error {
+	var b strings.Builder
+	for _, f := range fams {
+		if f.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, s := range f.Series {
+			switch f.Type {
+			case TypeCounter, TypeGauge:
+				writeSample(&b, f.Name, s.Labels, "", strconv.FormatInt(s.Value, 10))
+			case TypeHistogram:
+				cum := uint64(0)
+				for i, bound := range f.Buckets {
+					cum += s.BucketCounts[i]
+					writeSample(&b, f.Name+"_bucket", s.Labels,
+						`le="`+formatFloat(bound)+`"`, strconv.FormatUint(cum, 10))
+				}
+				cum += s.BucketCounts[len(f.Buckets)]
+				writeSample(&b, f.Name+"_bucket", s.Labels, `le="+Inf"`, strconv.FormatUint(cum, 10))
+				writeSample(&b, f.Name+"_sum", s.Labels, "", formatFloat(s.Sum))
+				writeSample(&b, f.Name+"_count", s.Labels, "", strconv.FormatUint(s.Count, 10))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSample emits one exposition line; extra is an additional label pair
+// (the histogram's le) appended after the series labels.
+func writeSample(b *strings.Builder, name, labels, extra, value string) {
+	b.WriteString(name)
+	if labels != "" || extra != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		if labels != "" && extra != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// formatFloat renders a float in the shortest form that round-trips,
+// matching across platforms so golden outputs stay byte-identical.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

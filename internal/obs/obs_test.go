@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bootes_things_total", "things")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("bootes_things_total", "things"); again != c {
+		t.Error("Counter is not get-or-create")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative counter Add did not panic")
+			}
+		}()
+		c.Add(-1)
+	}()
+
+	g := r.Gauge("bootes_level", "level")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bootes_delay_seconds", "delay", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Fatalf("sum = %g, want 106", h.Sum())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || len(snap[0].Series) != 1 {
+		t.Fatalf("unexpected snapshot shape: %+v", snap)
+	}
+	// Non-cumulative: (≤1)=2 {0.5, 1}, (≤2)=1 {1.5}, (≤4)=1 {3}, +Inf=1 {100}.
+	got := snap[0].Series[0].BucketCounts
+	want := []uint64{2, 1, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket counts = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVecSeries(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("bootes_ops_total", "ops", "kind")
+	cv.With("read").Add(2)
+	cv.With("write").Inc()
+	if cv.With("read").Value() != 2 || cv.With("write").Value() != 1 {
+		t.Fatal("vec series not independent")
+	}
+	gv := r.GaugeVec("bootes_depth", "depth", "queue")
+	gv.With("a").Set(3)
+	hv := r.HistogramVec("bootes_size_bytes", "sizes", []float64{10, 100}, "op")
+	hv.With("put").Observe(50)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`bootes_ops_total{kind="read"} 2`,
+		`bootes_ops_total{kind="write"} 1`,
+		`bootes_depth{queue="a"} 3`,
+		`bootes_size_bytes_bucket{op="put",le="100"} 1`,
+		`bootes_size_bytes_bucket{op="put",le="+Inf"} 1`,
+		`bootes_size_bytes_sum{op="put"} 50`,
+		`bootes_size_bytes_count{op="put"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistrationValidation(t *testing.T) {
+	r := NewRegistry()
+	cases := []func(){
+		func() { r.Counter("bootes_bad", "counter without _total") },
+		func() { r.Counter("nope_x_total", "wrong prefix") },
+		func() { r.Counter("bootes_Bad_total", "upper case") },
+		func() { r.Gauge("bootes_oops_total", "gauge with _total") },
+		func() { r.Histogram("bootes_h_total", "bad suffix", []float64{1}) },
+		func() { r.Histogram("bootes_h_seconds", "no buckets", nil) },
+		func() { r.Histogram("bootes_h2_seconds", "unsorted", []float64{2, 1}) },
+		func() { r.CounterVec("bootes_l_total", "bad label", "BAD") },
+		func() {
+			r.Counter("bootes_conflict_total", "as counter")
+			r.Gauge("bootes_conflict_total", "as gauge")
+		},
+		func() {
+			cv := r.CounterVec("bootes_arity_total", "arity", "a", "b")
+			cv.With("only-one")
+		},
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFuncInstruments(t *testing.T) {
+	r := NewRegistry()
+	n := int64(41)
+	r.CounterFunc("bootes_view_total", "view", func() int64 { return n })
+	r.GaugeFunc("bootes_live", "live", func() int64 { return n + 1 })
+	n = 7
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "bootes_view_total 7\n") ||
+		!strings.Contains(b.String(), "bootes_live 8\n") {
+		t.Fatalf("func instruments not read at exposition:\n%s", b.String())
+	}
+}
+
+func TestExpositionSortedAndEscaped(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bootes_zz_total", "last")
+	r.Counter("bootes_aa_total", `help with \ and
+newline`)
+	cv := r.CounterVec("bootes_mm_total", "mid", "who")
+	cv.With("b").Inc()
+	cv.With(`a"quote`).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	aa, mm, zz := strings.Index(out, "bootes_aa_total"), strings.Index(out, "bootes_mm_total"), strings.Index(out, "bootes_zz_total")
+	if !(aa < mm && mm < zz) {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+	if !strings.Contains(out, `# HELP bootes_aa_total help with \\ and\nnewline`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `bootes_mm_total{who="a\"quote"} 1`) {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+	// Series within a family sorted by label key: a"quote before b.
+	if qa, qb := strings.Index(out, `who="a\"quote"`), strings.Index(out, `who="b"`); !(qa < qb) {
+		t.Errorf("series not sorted:\n%s", out)
+	}
+}
+
+func TestWriteMergedDedupes(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("bootes_shared_total", "from a").Add(1)
+	b.Counter("bootes_shared_total", "from b").Add(99)
+	b.Counter("bootes_only_b_total", "b only").Add(2)
+	var out strings.Builder
+	if err := WriteMerged(&out, a, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "bootes_shared_total 1\n") {
+		t.Errorf("first registry should win:\n%s", s)
+	}
+	if strings.Contains(s, "bootes_shared_total 99") {
+		t.Errorf("duplicate family not skipped:\n%s", s)
+	}
+	if !strings.Contains(s, "bootes_only_b_total 2\n") {
+		t.Errorf("second registry's unique family missing:\n%s", s)
+	}
+	if strings.Count(s, "# TYPE bootes_shared_total") != 1 {
+		t.Errorf("duplicate TYPE line:\n%s", s)
+	}
+}
+
+func TestConcurrencySmoke(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bootes_n_total", "n")
+	h := r.Histogram("bootes_t_seconds", "t", StageSecondsBuckets)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.001)
+				r.CounterVec("bootes_v_total", "v", "w").With("x").Inc()
+			}
+		}()
+	}
+	// Exposition concurrent with writes must be safe.
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestFakeClock(t *testing.T) {
+	r := NewRegistry()
+	base := time.Unix(1700000000, 0)
+	r.SetNow(Elapse(base, time.Millisecond))
+	t1, t2 := r.Now(), r.Now()
+	if d := t2.Sub(t1); d != time.Millisecond {
+		t.Fatalf("fake clock step = %v, want 1ms", d)
+	}
+	r.SetNow(nil) // restore the real clock
+	if r.Now().Year() < 2020 {
+		t.Error("real clock not restored")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"bootes/internal/faultinject"
+	"bootes/internal/obs"
 	"bootes/internal/plancache"
 	"bootes/internal/planverify"
 	"bootes/internal/reorder"
@@ -81,6 +82,12 @@ type Config struct {
 	AllowLocalPaths bool
 	// Seed seeds the retry jitter (deterministic tests); 0 uses a fixed seed.
 	Seed int64
+	// Metrics is the registry the server's serving counters register on and
+	// the pipeline's stage spans record into; GET /metrics exposes it merged
+	// with obs.Default(). nil scopes the server to a private registry, so
+	// several servers in one process (tests) never share counts. Use one
+	// registry per server: the breaker/cache view functions re-bind on reuse.
+	Metrics *obs.Registry
 	// Now overrides the clock (tests); nil uses time.Now.
 	Now func() time.Time
 	// Logf sinks serve-path diagnostics (cache write failures, breaker
@@ -125,8 +132,12 @@ type Server struct {
 	draining atomic.Bool
 	inflight sync.WaitGroup // tracks admitted pipeline executions
 
-	served, shed, coalesced, degraded, retries, breakerShort atomic.Int64
-	running, queued, verifyBad                               atomic.Int64
+	// Serving counters live on reg (Config.Metrics or a private registry);
+	// Stats() and /statsz read the same instruments /metrics exposes.
+	reg                                                      *obs.Registry
+	served, shed, coalesced, degraded, retries, breakerShort *obs.Counter
+	verifyBad                                                *obs.Counter
+	running, queued                                          *obs.Gauge
 }
 
 // New validates cfg, applies defaults, and builds the server.
@@ -170,12 +181,56 @@ func New(cfg Config) (*Server, error) {
 		breaker: newBreaker(cfg.Breaker, cfg.Now),
 		jitter:  rand.New(rand.NewSource(seed)),
 	}
+	s.registerMetrics(cfg.Metrics)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
+}
+
+// registerMetrics binds the server's counters to reg (nil: a private
+// registry). The breaker, drain flag, and plan cache keep their own state and
+// are exposed as view functions read at exposition time, so /statsz and
+// /metrics can never disagree about them.
+func (s *Server) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.reg = reg
+	s.served = reg.Counter("bootes_serve_served_total", "Completed /v1/plan responses.")
+	s.shed = reg.Counter("bootes_serve_shed_total", "Requests shed by admission control (429).")
+	s.coalesced = reg.Counter("bootes_serve_coalesced_total", "Requests that rode a concurrent identical flight.")
+	s.degraded = reg.Counter("bootes_serve_degraded_total", "Responses carrying a degraded plan.")
+	s.retries = reg.Counter("bootes_serve_retries_total", "Serve-level pipeline re-runs of transiently degraded plans.")
+	s.breakerShort = reg.Counter("bootes_serve_breaker_short_circuits_total", "Requests answered by the breaker's identity fast-path.")
+	s.verifyBad = reg.Counter("bootes_serve_verify_violations_total", "Plan-verification violations observed by this server.")
+	s.running = reg.Gauge("bootes_serve_inflight", "Pipelines currently executing.")
+	s.queued = reg.Gauge("bootes_serve_queued", "Requests waiting for an in-flight slot.")
+	reg.CounterFunc("bootes_serve_breaker_trips_total", "Circuit breaker closed-to-open transitions.", func() int64 {
+		_, trips := s.breaker.snapshot()
+		return trips
+	})
+	reg.GaugeFunc("bootes_serve_breaker_state", "Circuit breaker position: 0 closed, 1 open, 2 half-open.", func() int64 {
+		state, _ := s.breaker.snapshot()
+		return int64(state)
+	})
+	reg.GaugeFunc("bootes_serve_draining", "1 while graceful shutdown is in progress.", func() int64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+	if c := s.cfg.Cache; c != nil {
+		reg.CounterFunc("bootes_cache_hits_total", "Plan cache hits.", func() int64 { return c.Stats().Hits })
+		reg.CounterFunc("bootes_cache_misses_total", "Plan cache misses.", func() int64 { return c.Stats().Misses })
+		reg.CounterFunc("bootes_cache_puts_total", "Plan cache writes.", func() int64 { return c.Stats().Puts })
+		reg.CounterFunc("bootes_cache_write_errors_total", "Plan cache writes that failed.", func() int64 { return c.Stats().WriteErrors })
+		reg.CounterFunc("bootes_cache_quarantined_total", "Corrupt cache entries quarantined.", func() int64 { return c.Stats().Quarantined })
+		reg.GaugeFunc("bootes_cache_entries", "Plan cache entries on disk.", func() int64 { return int64(c.Stats().Entries) })
+	}
 }
 
 // Handler returns the HTTP handler for the server's endpoints.
@@ -203,7 +258,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("planserve: drain deadline exceeded with %d plans in flight: %w",
-			s.running.Load(), ctx.Err())
+			s.running.Value(), ctx.Err())
 	}
 }
 
@@ -211,15 +266,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) Stats() Stats {
 	state, trips := s.breaker.snapshot()
 	st := Stats{
-		Served:               s.served.Load(),
-		Shed:                 s.shed.Load(),
-		Coalesced:            s.coalesced.Load(),
-		Degraded:             s.degraded.Load(),
-		BreakerShortCircuits: s.breakerShort.Load(),
-		Retries:              s.retries.Load(),
-		VerifyViolations:     s.verifyBad.Load(),
-		InFlight:             s.running.Load(),
-		Queued:               s.queued.Load(),
+		Served:               s.served.Value(),
+		Shed:                 s.shed.Value(),
+		Coalesced:            s.coalesced.Value(),
+		Degraded:             s.degraded.Value(),
+		BreakerShortCircuits: s.breakerShort.Value(),
+		Retries:              s.retries.Value(),
+		VerifyViolations:     s.verifyBad.Value(),
+		InFlight:             s.running.Value(),
+		Queued:               s.queued.Value(),
 		Draining:             s.draining.Load(),
 		Breaker:              state.String(),
 		BreakerTrips:         trips,
@@ -271,6 +326,15 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	_ = enc.Encode(s.Stats())
 }
 
+// handleMetrics renders the server's registry merged with the process-wide
+// Default registry (stage-span histograms recorded outside a request context,
+// the planverify mirror) in the Prometheus text format. When Config.Metrics
+// is Default itself the merge degenerates to a single registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WriteMerged(w, s.reg, obs.Default())
+}
+
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		http.Error(w, "shutting down", http.StatusServiceUnavailable)
@@ -294,6 +358,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
+	// Pipeline stage spans and outcome counters for this request land on the
+	// server's registry rather than the process default.
+	ctx = obs.WithRegistry(ctx, s.reg)
 
 	key := plancache.KeyCSR(m)
 	if s.cfg.Cache != nil {
@@ -310,7 +377,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 				})
 			}
 			if len(vs) == 0 {
-				s.served.Add(1)
+				s.served.Inc()
 				s.respond(w, r, planResponseFromEntry(e), true, false, "")
 				return
 			}
@@ -325,9 +392,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		// Identity fast-path: the pipeline is persistently unhealthy, so an
 		// immediate, clearly-marked identity plan beats queueing for work
 		// that would degrade to the same answer slowly. Never cached.
-		s.breakerShort.Add(1)
-		s.served.Add(1)
-		s.degraded.Add(1)
+		s.breakerShort.Inc()
+		s.served.Inc()
+		s.degraded.Inc()
 		res := identityResult(m, "circuit breaker open: pipeline recently degraded repeatedly")
 		// Even the locally fabricated fast-path plan goes through the
 		// verifier: "no 200 carries an unverified plan" holds with no
@@ -344,7 +411,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return s.runAdmitted(ctx, m, key, probe)
 	})
 	if shared {
-		s.coalesced.Add(1)
+		s.coalesced.Inc()
 		if probe {
 			// We claimed the half-open probe but rode an existing flight
 			// instead of running the pipeline; free the slot for the next
@@ -361,7 +428,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, errShed):
 			w.Header().Set("Retry-After", "1")
-			s.shed.Add(1)
+			s.shed.Inc()
 			http.Error(w, "overloaded: in-flight and queue limits reached", http.StatusTooManyRequests)
 		case errors.Is(err, context.DeadlineExceeded):
 			http.Error(w, "deadline exceeded before a plan was produced", http.StatusGatewayTimeout)
@@ -374,9 +441,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if res.Degraded {
-		s.degraded.Add(1)
+		s.degraded.Inc()
 	}
-	s.served.Add(1)
+	s.served.Inc()
 	s.respond(w, r, planResponseFromResult(key, m, res), false, shared, "")
 }
 
@@ -458,7 +525,7 @@ func (s *Server) planWithRetry(ctx context.Context, m *sparse.CSR) (*reorder.Res
 		if !res.Degraded || !transientDegradation(res.DegradedReason) || attempt >= s.cfg.MaxRetries {
 			return res, nil
 		}
-		s.retries.Add(1)
+		s.retries.Inc()
 		backoff := s.cfg.RetryBackoff << attempt
 		s.jitterMu.Lock()
 		backoff += time.Duration(s.jitter.Int63n(int64(backoff)/2 + 1))

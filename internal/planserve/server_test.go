@@ -233,10 +233,10 @@ func TestOverloadShedsFast(t *testing.T) {
 	}
 	running := make(chan int, 1)
 	go launch(1, running) // occupies the only slot
-	waitUntil(t, func() bool { return s.running.Load() == 1 })
+	waitUntil(t, func() bool { return s.running.Value() == 1 })
 	queuedc := make(chan int, 1)
 	go launch(2, queuedc) // occupies the only queue seat
-	waitUntil(t, func() bool { return s.queued.Load() == 1 })
+	waitUntil(t, func() bool { return s.queued.Value() == 1 })
 
 	// Saturated: these must shed, and fast.
 	for i := 3; i <= 5; i++ {
@@ -467,7 +467,7 @@ func TestGracefulShutdown(t *testing.T) {
 		resp, _ := postPlan(t, ts.URL, mmBody(t, testMatrix(t, 1)), "")
 		inflight <- resp.StatusCode
 	}()
-	waitUntil(t, func() bool { return s.running.Load() == 1 })
+	waitUntil(t, func() bool { return s.running.Value() == 1 })
 
 	shutdownDone := make(chan error, 1)
 	go func() {
@@ -521,7 +521,7 @@ func TestShutdownDrainDeadline(t *testing.T) {
 		resp, _ := postPlan(t, ts.URL, mmBody(t, testMatrix(t, 1)), "")
 		done <- resp.StatusCode
 	}()
-	waitUntil(t, func() bool { return s.running.Load() == 1 })
+	waitUntil(t, func() bool { return s.running.Value() == 1 })
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	if err := s.Shutdown(ctx); err == nil {

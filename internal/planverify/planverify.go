@@ -35,6 +35,7 @@ import (
 
 	"bootes/internal/core"
 	"bootes/internal/faultinject"
+	"bootes/internal/obs"
 	"bootes/internal/reorder"
 	"bootes/internal/sparse"
 	"bootes/internal/trafficmodel"
@@ -127,7 +128,10 @@ var (
 
 // Record tallies violations observed at site. Wiring sites call it
 // automatically; it is exported for sites (like plancache's re-encode check)
-// that detect violations with their own machinery.
+// that detect violations with their own machinery. Each violation is also
+// mirrored into the obs.Default registry by site and code
+// (bootes_verify_violations_total), so /metrics carries the same signal as
+// /statsz; the mirror is monotonic and unaffected by ResetCounters.
 func Record(site string, vs ...Violation) {
 	if len(vs) == 0 {
 		return
@@ -139,6 +143,9 @@ func Record(site string, vs ...Violation) {
 	}
 	bySite[site] += int64(len(vs))
 	countersM.Unlock()
+	for _, v := range vs {
+		obs.VerifyViolation(site, v.Code, 1)
+	}
 }
 
 // Total returns the process-wide violation count.

@@ -1,0 +1,70 @@
+package spy
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"bootes/internal/sparse"
+)
+
+// failWriter errors after accepting limit bytes, exercising WritePGM's
+// mid-stream and flush error paths.
+type failWriter struct {
+	limit int
+	n     int
+}
+
+var errWriterFull = errors.New("writer full")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n+len(p) > w.limit {
+		return 0, errWriterFull
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+
+func TestWritePGMWriteError(t *testing.T) {
+	// 256x256 pixels overflow bufio's 4 KiB buffer, so the failure surfaces
+	// mid-stream from WriteByte rather than at the final Flush.
+	if err := WritePGM(&failWriter{}, diag(8), Options{}); !errors.Is(err, errWriterFull) {
+		t.Errorf("mid-stream error = %v, want %v", err, errWriterFull)
+	}
+	// A 4x4 image fits the buffer entirely: the same failure now comes from
+	// Flush.
+	if err := WritePGM(&failWriter{}, diag(8), Options{Width: 4, Height: 4}); !errors.Is(err, errWriterFull) {
+		t.Errorf("flush error = %v, want %v", err, errWriterFull)
+	}
+}
+
+func TestWritePGMEmptyMatrix(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, sparse.Zero(0, 0), Options{Width: 3, Height: 2}); err != nil {
+		t.Fatal(err)
+	}
+	want := "P5\n3 2\n255\n" + strings.Repeat("\xff", 6)
+	if buf.String() != want {
+		t.Errorf("empty-matrix PGM = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestASCIIShadeLevels(t *testing.T) {
+	// One 3-cell-wide row over 15 columns (5 columns per cell) with cell
+	// counts 5, 2, 1. With maxCount=5 that renders '#' (5*4 >= 5*3),
+	// '+' (2*4 >= 5), and '.' (1*4 < 5) — all three shade branches.
+	coo := sparse.NewCOO(1, 15, true)
+	for _, j := range []int{0, 1, 2, 3, 4, 5, 6, 10} {
+		coo.AddPattern(0, j)
+	}
+	m, err := coo.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ASCII(m, Options{Width: 3, Height: 1})
+	body := strings.Split(got, "\n")[1]
+	if body != "|#+.|" {
+		t.Errorf("shade row = %q, want |#+.| in\n%s", body, got)
+	}
+}
