@@ -20,6 +20,9 @@
 #                  end-to-end episodes through plan→cache→serve with faults
 #                  armed, asserting the global invariants after each
 #   make bench   — the parallel-layer benchmarks behind BENCH_parallel.json
+#   make bench-matrix — the similarity/eigen/k-means/sweep benchmarks across
+#                  BOOTES_WORKERS ∈ {1,2,4,max} plus the end-to-end
+#                  similarity-tier run that regenerates BENCH_fastpath.json
 #   make report  — regenerate the reproduction report at the default scale
 
 GO ?= go
@@ -29,7 +32,7 @@ CHAOS_SEED ?= 20250806
 
 OBS_COVER_FLOOR ?= 60.0
 
-.PHONY: check vet build test cover race race-serve fuzz fuzz-seeds chaos chaos-short bench report
+.PHONY: check vet build test cover race race-serve fuzz fuzz-seeds chaos chaos-short bench bench-matrix report
 
 check: vet build test fuzz-seeds chaos-short cover
 
@@ -84,12 +87,28 @@ fuzz:
 	$(GO) test ./internal/sparse/ -run XXX -fuzz FuzzReadMatrixMarket -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sparse/ -run XXX -fuzz FuzzReadBinary -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sparse/ -run XXX -fuzz FuzzNewCSR -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sparse/ -run XXX -fuzz FuzzBitsetPack -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/plancache/ -run XXX -fuzz FuzzDecodeEntry -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test ./internal/sparse/ -run XXX -bench 'Similarity|SpMV' -benchtime 10x
 	$(GO) test ./internal/cluster/ -run XXX -bench KMeans -benchtime 10x
 	$(GO) test ./internal/core/ -run XXX -bench 'Eigensolve|Sweep' -benchtime 5x
+
+# Fast-path benchmark matrix: the similarity/eigensolver/k-means/sweep
+# micro-benchmarks at each worker count (empty BOOTES_WORKERS = host max),
+# then the end-to-end per-tier run behind BENCH_fastpath.json. Rerun after
+# touching the similarity kernels, the LSH sparsifier, or the tier selector.
+BENCH_MATRIX_WORKERS ?= 1 2 4 max
+bench-matrix:
+	for w in $(BENCH_MATRIX_WORKERS); do \
+		if [ "$$w" = max ]; then unset BOOTES_WORKERS; else BOOTES_WORKERS=$$w; export BOOTES_WORKERS; fi; \
+		echo "=== BOOTES_WORKERS=$${BOOTES_WORKERS:-max}"; \
+		$(GO) test ./internal/sparse/ -run XXX -bench 'Similarity|SpMV' -benchtime 10x || exit 1; \
+		$(GO) test ./internal/cluster/ -run XXX -bench KMeans -benchtime 10x || exit 1; \
+		$(GO) test ./internal/core/ -run XXX -bench 'Eigensolve|Sweep' -benchtime 5x || exit 1; \
+	done
+	$(GO) run ./cmd/benchfast -rows 20000 -nnz 48 -workers 1,2,4,0 -seed 7 -reps 3 -out BENCH_fastpath.json
 
 report:
 	$(GO) run ./cmd/benchsuite -scale 0.12 -jobs 4 -out report.txt

@@ -98,8 +98,17 @@ type Options struct {
 	// letting the gate choose. 0 lets the model/heuristic decide.
 	ForceK int
 	// ImplicitSimilarity avoids materializing S = Ā·Āᵀ (lower peak memory,
-	// one extra matvec per Lanczos step).
+	// one extra matvec per Lanczos step). Legacy flag: equivalent to
+	// Similarity = SimImplicit; ignored when Similarity is set explicitly.
 	ImplicitSimilarity bool
+	// Similarity selects how the similarity matrix S = Ā·Āᵀ is built: the
+	// exact merge kernel, the packed-bitset exact kernel, the LSH-sparsified
+	// approximation, or the matrix-free implicit operator. The zero value
+	// SimAuto picks a tier from the matrix size and modeled similarity bytes
+	// (see EffectiveSimilarityMode). Exact and bitset produce bit-identical
+	// plans; approximate plans are still valid bijections but may differ,
+	// so they cache under a distinct key.
+	Similarity SimilarityMode
 	// Seed makes the pipeline deterministic (Lanczos start vectors, k-means
 	// seeding, feature sampling).
 	Seed int64
@@ -123,6 +132,47 @@ type Options struct {
 	// falls back to the identity permutation with the violation recorded in
 	// DegradedReason. The zero value is VerifyOn.
 	Verify VerifyMode
+}
+
+// SimilarityMode selects the similarity construction tier. See the constants
+// below and Options.Similarity.
+type SimilarityMode = core.SimilarityMode
+
+// The similarity construction tiers, cheapest-guarantees last.
+const (
+	// SimAuto (the zero value) selects a tier automatically from the matrix
+	// size and the modeled similarity bytes.
+	SimAuto = core.SimAuto
+	// SimExact materializes S with the merge-based SpGEMM kernel.
+	SimExact = core.SimExact
+	// SimBitset materializes S with packed row-support bitsets and
+	// word-AND+popcount intersection — bit-identical to SimExact, faster on
+	// matrices with clustered supports.
+	SimBitset = core.SimBitset
+	// SimApprox sparsifies S to LSH candidate pairs (MinHash banding) before
+	// materializing: stored entries keep their exact intersection counts, but
+	// dissimilar row pairs are dropped, shrinking the eigensolve.
+	SimApprox = core.SimApprox
+	// SimImplicit applies S as a matrix-free operator (lowest memory, one
+	// extra matvec per Lanczos step).
+	SimImplicit = core.SimImplicit
+)
+
+// ParseSimilarityMode maps a flag string ("auto", "exact", "bitset",
+// "approx", "implicit"; "" means auto) to its SimilarityMode.
+func ParseSimilarityMode(s string) (SimilarityMode, error) {
+	return core.ParseSimilarityMode(s)
+}
+
+// EffectiveSimilarityMode reports the tier PlanContext would actually run
+// for m under o (never SimAuto) — useful for tooling that wants to display
+// or log the decision without planning.
+func EffectiveSimilarityMode(m *Matrix, o *Options) SimilarityMode {
+	var opts Options
+	if o != nil {
+		opts = *o
+	}
+	return core.EffectiveSimilarityMode(m, opts.spectralOptions())
 }
 
 // VerifyMode toggles the always-on plan verifier.
@@ -170,10 +220,25 @@ type ReorderPlan struct {
 	Degraded bool
 	// DegradedReason is empty when Degraded is false.
 	DegradedReason string
+	// SimilarityMode names the similarity tier the spectral pass ran
+	// ("exact", "bitset", "approx", "implicit"). Empty when no spectral pass
+	// ran (gate decline, identity fallback).
+	SimilarityMode string
 	// FromCache reports that the plan was served from Options.Cache;
 	// PreprocessSeconds and FootprintBytes then describe the original
 	// computation (what the hit saved), not this call.
 	FromCache bool
+}
+
+// spectralOptions maps the public options to the core spectral
+// configuration. planKey and PlanContext share it so the cache key and the
+// executed pipeline can never disagree about an option.
+func (o *Options) spectralOptions() core.SpectralOptions {
+	return core.SpectralOptions{
+		Seed:               o.Seed,
+		ImplicitSimilarity: o.ImplicitSimilarity,
+		Similarity:         o.Similarity,
+	}
 }
 
 // Plan runs the Bootes pipeline on m: extract features, consult the gate,
@@ -215,6 +280,13 @@ func PlanContext(ctx context.Context, m *Matrix, opts *Options) (*ReorderPlan, e
 				}
 			}
 			if hitSound {
+				// K > 0 ⇔ a spectral pass produced the entry, so the tier it
+				// ran is exactly what this call's options resolve to (the key
+				// covers every option that changes the tier class).
+				simMode := ""
+				if e.K > 0 {
+					simMode = core.EffectiveSimilarityMode(m, o.spectralOptions()).String()
+				}
 				return &ReorderPlan{
 					Perm:              e.Perm,
 					Reordered:         e.Reordered,
@@ -223,13 +295,14 @@ func PlanContext(ctx context.Context, m *Matrix, opts *Options) (*ReorderPlan, e
 					FootprintBytes:    e.FootprintBytes,
 					Degraded:          e.Degraded,
 					DegradedReason:    e.DegradedReason,
+					SimilarityMode:    simMode,
 					FromCache:         true,
 				}, nil
 			}
 		}
 	}
 	p := &core.Pipeline{
-		Spectral:     core.SpectralOptions{Seed: o.Seed, ImplicitSimilarity: o.ImplicitSimilarity},
+		Spectral:     o.spectralOptions(),
 		ForceReorder: o.ForceReorder,
 		ForceK:       o.ForceK,
 		Budget: core.Budget{
@@ -261,6 +334,7 @@ func PlanContext(ctx context.Context, m *Matrix, opts *Options) (*ReorderPlan, e
 		FootprintBytes:    res.FootprintBytes,
 		Degraded:          res.Degraded,
 		DegradedReason:    res.DegradedReason,
+		SimilarityMode:    res.SimilarityMode,
 	}
 	if o.Cache != nil && !plan.Degraded {
 		// Degraded plans reflect the moment's faults, not the matrix; only
@@ -315,6 +389,13 @@ func MatrixKey(m *Matrix) string { return plancache.KeyCSR(m) }
 // Budget is deliberately excluded: it only influences degraded plans, which
 // are never cached. Verify is likewise excluded: verification never alters a
 // healthy plan, and only healthy plans are cached.
+//
+// The similarity tier is keyed by its *class* (exact / approximate /
+// implicit), resolved against this matrix: exact and bitset produce
+// bit-identical plans and deliberately share a key, while an approximate or
+// implicit request — whether explicit or auto-selected by size — keys
+// separately because the permutation can legitimately differ. Keys for
+// exact-class plans are unchanged from earlier releases.
 func planKey(m *Matrix, o *Options) string {
 	h := sha256.New()
 	h.Write([]byte(plancache.KeyCSR(m)))
@@ -324,8 +405,11 @@ func planKey(m *Matrix, o *Options) string {
 	if o.ForceReorder {
 		opt[16] = 1
 	}
-	if o.ImplicitSimilarity {
+	switch core.EffectiveSimilarityMode(m, o.spectralOptions()).Class() {
+	case core.SimClassImplicit:
 		opt[17] = 1
+	case core.SimClassApprox:
+		opt[18] = 1
 	}
 	h.Write(opt[:])
 	if o.Model != nil {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	benchsuite [-scale 0.12] [-seed 1] [-out report.txt] [-only T1,F4,...]
-//	           [-suite IN,PO,...] [-skip-train] [-jobs N]
+//	           [-suite IN,PO,...] [-skip-train] [-jobs N] [-similarity auto]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"bootes/internal/core"
 	"bootes/internal/experiments"
 )
 
@@ -33,7 +34,13 @@ func main() {
 	skipTrain := flag.Bool("skip-train", false, "skip decision-tree training (F3 and DT are skipped; Bootes uses its heuristic gate)")
 	figDir := flag.String("figdir", "", "write PGM spy plots for Figures 1-2 into this directory")
 	jobs := flag.Int("jobs", 1, "workload-level parallelism for corpus labelling and Figure 4 (results are identical for any value; see also BOOTES_WORKERS)")
+	similarity := flag.String("similarity", "auto", "similarity tier for every spectral pass: auto, exact, bitset, approx, or implicit")
 	flag.Parse()
+
+	simMode, err := core.ParseSimilarityMode(*similarity)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -45,7 +52,10 @@ func main() {
 		out = io.MultiWriter(os.Stdout, f)
 	}
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Out: out, FigDir: *figDir, Jobs: *jobs}
+	cfg := experiments.Config{
+		Scale: *scale, Seed: *seed, Out: out, FigDir: *figDir, Jobs: *jobs,
+		Similarity: simMode,
+	}
 	if *suite != "" {
 		cfg.SuiteIDs = strings.Split(*suite, ",")
 	}

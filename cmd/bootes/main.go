@@ -11,9 +11,11 @@
 //	bootes plan     -in A.mtx [-server http://localhost:8080]  # plan via a running bootesd
 //
 // Commands that run the planning pipeline (analyze, reorder, plan) accept
-// -timeout (a planning deadline, enforced through PlanContext) and -strict
-// (exit non-zero when the plan is degraded). Degraded plans always print a
-// warning to stderr.
+// -timeout (a planning deadline, enforced through PlanContext), -strict
+// (exit non-zero when the plan is degraded), and -similarity
+// (auto|exact|bitset|approx|implicit — the similarity construction tier;
+// auto picks from the matrix size). Degraded plans always print a warning to
+// stderr.
 package main
 
 import (
@@ -140,6 +142,7 @@ func cmdAnalyze(args []string) {
 	timeout := fs.Duration("timeout", 0, "planning deadline (0 = none)")
 	strict := fs.Bool("strict", false, "exit non-zero if the plan is degraded")
 	stats := fs.Bool("stats", false, "print a per-stage planning time table")
+	similarity := similarityFlag(fs)
 	fs.Parse(args)
 	if *in == "" {
 		log.Fatal("analyze: -in is required")
@@ -160,7 +163,7 @@ func cmdAnalyze(args []string) {
 		trace = obs.Default().NewTrace()
 		ctx = obs.WithTrace(ctx, trace)
 	}
-	opts := &bootes.Options{Seed: *seed, Model: loadModel(*model)}
+	opts := &bootes.Options{Seed: *seed, Model: loadModel(*model), Similarity: parseSimilarity(*similarity)}
 	if *timeout > 0 {
 		opts.Budget.MaxWallClock = *timeout
 	}
@@ -173,6 +176,9 @@ func cmdAnalyze(args []string) {
 			plan.K, plan.PreprocessSeconds, plan.FootprintBytes>>10)
 	} else {
 		fmt.Println("decision: do not reorder (predicted benefit below threshold)")
+	}
+	if plan.SimilarityMode != "" {
+		fmt.Printf("similarity: %s tier\n", plan.SimilarityMode)
 	}
 	if trace != nil {
 		fmt.Print(trace.Table())
@@ -191,6 +197,7 @@ func cmdReorder(args []string) {
 	seed := fs.Int64("seed", 1, "random seed")
 	timeout := fs.Duration("timeout", 0, "planning deadline (0 = none)")
 	strict := fs.Bool("strict", false, "exit non-zero if the plan is degraded")
+	similarity := similarityFlag(fs)
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		log.Fatal("reorder: -in and -out are required")
@@ -200,6 +207,7 @@ func cmdReorder(args []string) {
 	defer cancel()
 	opts := &bootes.Options{
 		Seed: *seed, ForceK: *k, ForceReorder: *force, Model: loadModel(*model),
+		Similarity: parseSimilarity(*similarity),
 	}
 	if *timeout > 0 {
 		opts.Budget.MaxWallClock = *timeout
@@ -419,6 +427,7 @@ func cmdPlan(args []string) {
 	seed := fs.Int64("seed", 1, "random seed (in-process mode only)")
 	timeout := fs.Duration("timeout", 60*time.Second, "planning deadline (sent as X-Deadline to the daemon)")
 	strict := fs.Bool("strict", false, "exit non-zero if the plan is degraded")
+	similarity := similarityFlag(fs)
 	fs.Parse(args)
 	if *in == "" {
 		log.Fatal("plan: -in is required")
@@ -431,7 +440,7 @@ func cmdPlan(args []string) {
 	m := readMatrix(*in)
 	ctx, cancel := planCtx(*timeout)
 	defer cancel()
-	opts := &bootes.Options{Seed: *seed, Model: loadModel(*model)}
+	opts := &bootes.Options{Seed: *seed, Model: loadModel(*model), Similarity: parseSimilarity(*similarity)}
 	if *timeout > 0 {
 		opts.Budget.MaxWallClock = *timeout
 	}
@@ -453,7 +462,24 @@ func cmdPlan(args []string) {
 	fmt.Printf("key:       %s\n", bootes.MatrixKey(m))
 	fmt.Printf("plan:      reordered=%v k=%d (%s, %.3fs, footprint %d KB)\n",
 		plan.Reordered, plan.K, source, plan.PreprocessSeconds, plan.FootprintBytes>>10)
+	if plan.SimilarityMode != "" {
+		fmt.Printf("similarity: %s tier\n", plan.SimilarityMode)
+	}
 	warnDegraded(plan.Degraded, plan.DegradedReason, *strict)
+}
+
+// similarityFlag registers the shared -similarity flag on a planning command.
+func similarityFlag(fs *flag.FlagSet) *string {
+	return fs.String("similarity", "auto", "similarity tier: auto, exact, bitset, approx, or implicit")
+}
+
+// parseSimilarity maps the flag value to a mode, exiting on bad input.
+func parseSimilarity(s string) bootes.SimilarityMode {
+	mode, err := bootes.ParseSimilarityMode(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return mode
 }
 
 // planRemote posts the matrix file to a bootesd daemon and prints the reply.

@@ -61,7 +61,13 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "maximum time to read an entire request")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle timeout")
 	pprofOn := flag.Bool("pprof", false, "serve runtime profiles on /debug/pprof/ (CPU, heap, goroutine, ...)")
+	similarity := flag.String("similarity", "auto", "similarity tier: auto, exact, bitset, approx, or implicit")
 	flag.Parse()
+
+	simMode, err := bootes.ParseSimilarityMode(*similarity)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var model *bootes.Model
 	if *modelPath != "" {
@@ -85,7 +91,7 @@ func main() {
 	}
 
 	srv, err := planserve.New(planserve.Config{
-		Plan:            planFunc(model, *seed),
+		Plan:            planFunc(model, *seed, simMode),
 		Cache:           cache,
 		MaxInFlight:     *maxInFlight,
 		MaxQueue:        *maxQueue,
@@ -166,9 +172,9 @@ func main() {
 // planFunc adapts the core pipeline to the serving layer. Each retry attempt
 // mixes the attempt number into the seed so a transient eigensolver failure
 // is not deterministically replayed.
-func planFunc(model *bootes.Model, seed int64) planserve.PlanFunc {
+func planFunc(model *bootes.Model, seed int64, sim bootes.SimilarityMode) planserve.PlanFunc {
 	return func(ctx context.Context, m *sparse.CSR, attempt int) (*reorder.Result, error) {
-		opts := &bootes.Options{Seed: seed + int64(attempt)*0x9E3779B9, Model: model}
+		opts := &bootes.Options{Seed: seed + int64(attempt)*0x9E3779B9, Model: model, Similarity: sim}
 		if dl, ok := ctx.Deadline(); ok {
 			opts.Budget.MaxWallClock = time.Until(dl)
 		}
@@ -181,6 +187,7 @@ func planFunc(model *bootes.Model, seed int64) planserve.PlanFunc {
 			Reordered:      plan.Reordered,
 			Degraded:       plan.Degraded,
 			DegradedReason: plan.DegradedReason,
+			SimilarityMode: plan.SimilarityMode,
 			PreprocessTime: time.Duration(plan.PreprocessSeconds * float64(time.Second)),
 			FootprintBytes: plan.FootprintBytes,
 			Extra:          map[string]float64{"k": float64(plan.K)},

@@ -195,6 +195,7 @@ var pipelineFaults = []string{
 	faultinject.SweepCancel,
 	faultinject.BreakerProbeFail,
 	faultinject.PlanCorrupt,
+	faultinject.LSHSparsifyFail,
 }
 
 // planFaults picks this episode's fault schedule (0–2 points with randomized
@@ -387,6 +388,7 @@ type scenario struct {
 
 var scenarios = []scenario{
 	{"plan-direct", true, scenarioPlanDirect},
+	{"plan-approx", false, scenarioPlanApprox},
 	{"serve-http", true, scenarioServeHTTP},
 	{"cache-bitflip", false, scenarioCacheBitFlip},
 	{"cache-crash", false, scenarioCacheCrash},
@@ -425,6 +427,41 @@ func scenarioPlanDirect(e *episode) {
 		}
 		e.checkPlanShape("plan-direct", m.Rows, plan.Perm, plan.K, plan.Reordered, plan.Degraded, plan.DegradedReason)
 	}
+}
+
+// scenarioPlanApprox permanently arms the sparsifier fault point and forces
+// the approximate similarity tier: the pipeline must walk the degradation
+// ladder to the implicit rung — a real reordering naming the sparsifier
+// failure, never the identity floor. It manages its own fault (the shared
+// schedule could arm points that push degradation past the implicit rung,
+// which would turn this scenario's sharpest assertion into a coin flip).
+func scenarioPlanApprox(e *episode) {
+	m := e.matrix()
+	faultinject.Arm(faultinject.LSHSparsifyFail, faultinject.Always())
+	e.rep.Faults[faultinject.LSHSparsifyFail]++
+	plan, err := bootes.PlanContext(context.Background(), m, &bootes.Options{
+		Seed:         e.rng.Int63(),
+		ForceReorder: true,
+		ForceK:       4,
+		Similarity:   bootes.SimApprox,
+	})
+	if err != nil {
+		e.violatef("plan-approx: error instead of degradation: %v", err)
+		return
+	}
+	if !plan.Degraded {
+		e.violatef("plan-approx: failing sparsifier did not mark the plan Degraded")
+	}
+	if !strings.Contains(plan.DegradedReason, "sparsify") {
+		e.violatef("plan-approx: reason %q does not name the sparsifier fault", plan.DegradedReason)
+	}
+	if strings.Contains(plan.DegradedReason, "fell back to identity") {
+		e.violatef("plan-approx: fell to the identity floor: %q", plan.DegradedReason)
+	}
+	if plan.SimilarityMode != "implicit" {
+		e.violatef("plan-approx: degraded to tier %q, want implicit", plan.SimilarityMode)
+	}
+	e.checkPlanShape("plan-approx", m.Rows, plan.Perm, plan.K, plan.Reordered, plan.Degraded, plan.DegradedReason)
 }
 
 // scenarioServeHTTP stands up the full serving stack (admission, retries,

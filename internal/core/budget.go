@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"bootes/internal/faultinject"
+	"bootes/internal/lsh"
 	"bootes/internal/sparse"
 )
 
@@ -51,10 +52,34 @@ func estimateSpectralFootprint(a *sparse.CSR, opts SpectralOptions) int64 {
 	hub, colCounts := resolveHub(a, opts.HubThreshold)
 
 	var simBytes int64
-	if opts.ImplicitSimilarity {
+	switch resolveSimilarityMode(a, opts, hub, colCounts) {
+	case SimImplicit:
 		// Āᵀ (row pointers + indices + values) plus two matvec temporaries.
 		simBytes = int64(a.Cols+1)*8 + a.NNZ()*(4+8) + int64(n)*8*2
-	} else {
+	case SimApprox:
+		// LSH index structures plus one bit pack plus the sparsified S,
+		// bounded by the collision-capped pair count or the exact bound,
+		// whichever is smaller.
+		p := lshParams(opts)
+		bands := int64(1)
+		if p.BSize > 0 {
+			bands = int64(p.SigLen / p.BSize)
+		}
+		sNNZ := int64(n) * (1 + 2*bands)
+		if p.MaxDegree > 0 {
+			if capped := int64(n) * (1 + 2*int64(p.MaxDegree)); capped < sNNZ {
+				sNNZ = capped
+			}
+		}
+		if exact := sparse.EstimateSimilarityNNZ(a, hub, colCounts); exact < sNNZ {
+			sNNZ = exact
+		}
+		simBytes = lsh.ModeledSparsifyBytes(n, p) + a.NNZ()*(4+8) + int64(n+1)*8 + sNNZ*(4+8)
+	case SimBitset:
+		// The exact S plus the two packed bitset structures.
+		nnz := sparse.EstimateSimilarityNNZ(a, hub, colCounts)
+		simBytes = int64(n+1)*8 + nnz*(4+8) + 2*a.NNZ()*(4+8)
+	default: // SimExact
 		nnz := sparse.EstimateSimilarityNNZ(a, hub, colCounts)
 		simBytes = int64(n+1)*8 + nnz*(4+8)
 	}

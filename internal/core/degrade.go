@@ -36,22 +36,35 @@ type rung struct {
 	opts SpectralOptions
 }
 
-// buildLadder lays out the degradation ladder for a requested configuration:
+// buildLadder lays out the degradation ladder for a requested configuration
+// whose effective similarity tier is eff:
 //
-//	requested → implicit-similarity → retry (fresh seed, loose tol)
+//	requested → approx-similarity → implicit-similarity
+//	          → retry (fresh seed, loose tol)
 //	          → fixed small k (k=2, implicit, loose, small basis) → identity
 //
-// The first rung is the caller's own configuration; when it already uses the
-// implicit operator the dedicated implicit rung is omitted. The identity rung
-// is not in the list — it is the unconditional floor the caller falls to when
-// every listed rung is skipped or fails.
-func buildLadder(base SpectralOptions) []rung {
+// The first rung is the caller's own configuration. The approx rung — the
+// LSH-sparsified similarity, cheaper in both time and memory than any exact
+// kernel — is inserted only when the request resolves to an exact tier, so
+// budget pressure degrades exact → approx → implicit; when the request
+// already runs approximate or implicit similarity the ladder skips straight
+// past the corresponding rungs. The identity rung is not in the list — it is
+// the unconditional floor the caller falls to when every listed rung is
+// skipped or fails.
+func buildLadder(base SpectralOptions, eff SimilarityMode) []rung {
 	var ladder []rung
 	ladder = append(ladder, rung{name: "requested", opts: base})
 
+	if eff.Class() == SimClassExact {
+		approx := base
+		approx.Similarity = SimApprox
+		ladder = append(ladder, rung{name: "approx-similarity", opts: approx})
+	}
+
 	impl := base
 	impl.ImplicitSimilarity = true
-	if !base.ImplicitSimilarity {
+	impl.Similarity = SimImplicit
+	if eff != SimImplicit {
 		ladder = append(ladder, rung{name: "implicit-similarity", opts: impl})
 	}
 
@@ -167,8 +180,9 @@ func (p *Pipeline) ReorderContext(ctx context.Context, a *sparse.CSR) (res *reor
 
 	base := p.Spectral
 	base.K = k
+	eff := EffectiveSimilarityMode(a, base)
 	var reasons []string
-	for _, r := range buildLadder(base) {
+	for _, r := range buildLadder(base, eff) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -210,6 +224,7 @@ func (p *Pipeline) ReorderContext(ctx context.Context, a *sparse.CSR) (res *reor
 			Reordered:      !sr.Perm.IsIdentity(),
 			Degraded:       len(reasons) > 0,
 			DegradedReason: strings.Join(reasons, "; "),
+			SimilarityMode: sr.Similarity.String(),
 			Extra: map[string]float64{
 				"k":           float64(r.opts.K),
 				"decision":    float64(label),

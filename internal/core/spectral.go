@@ -13,6 +13,7 @@ import (
 
 	"bootes/internal/cluster"
 	"bootes/internal/eigen"
+	"bootes/internal/lsh"
 	"bootes/internal/obs"
 	"bootes/internal/sparse"
 )
@@ -28,8 +29,16 @@ type SpectralOptions struct {
 	K int
 	// ImplicitSimilarity applies S = Ā·Āᵀ as an operator instead of forming
 	// it explicitly — the memory ablation discussed in DESIGN.md. The paper's
-	// Algorithm 4 forms S explicitly; that is the default (false).
+	// Algorithm 4 forms S explicitly. Legacy flag: equivalent to Similarity =
+	// SimImplicit; ignored when Similarity is set explicitly.
 	ImplicitSimilarity bool
+	// Similarity selects the similarity construction tier (see
+	// SimilarityMode). The zero value SimAuto picks a tier from the matrix
+	// size and the modeled similarity bytes.
+	Similarity SimilarityMode
+	// LSH parameterizes the approximate tier's MinHash/banding sparsifier;
+	// the zero value selects lsh.DefaultParams (fixed seed).
+	LSH lsh.Params
 	// Seed drives Lanczos start vectors and k-means seeding.
 	Seed int64
 	// Eigen overrides eigensolver options (K is always forced to match).
@@ -87,30 +96,16 @@ func (s Spectral) ReorderContext(ctx context.Context, a *sparse.CSR) (*SpectralR
 
 	// Step 1-2: similarity matrix and normalized-Laplacian operator.
 	// Working with M = D^{-1/2}·S·D^{-1/2} (largest eigenpairs) is
-	// equivalent to the smallest eigenpairs of L = I − M.
-	var (
-		op         eigen.Operator
-		simBytes   int64
-		degreeWork int64 = int64(n) * 8 * 2 // degrees + inv-sqrt arrays
-	)
-	// Column degrees are walked once and shared between the hub-threshold
-	// heuristic and the hub-dropping pass inside similarity construction.
-	// Stage spans close via defer too so a contained panic cannot leak an
-	// open span past the ladder's recovery.
+	// equivalent to the smallest eigenpairs of L = I − M. The tier dispatch
+	// (exact merge / bitset / LSH-approximate / implicit) is shared with the
+	// sweep via buildSimilarityOperator. Stage spans close via defer too so a
+	// contained panic cannot leak an open span past the ladder's recovery.
+	degreeWork := int64(n) * 8 * 2 // degrees + inv-sqrt arrays
 	endSimilarity := obs.StartStage(ctx, obs.StageSimilarity)
 	defer endSimilarity()
-	hub, colCounts := resolveHub(a, opts.HubThreshold)
-	if opts.ImplicitSimilarity {
-		impl := eigen.NewImplicitSimilarityCappedWithCounts(a, hub, colCounts)
-		op = impl
-		simBytes = impl.At.ModeledBytes() + int64(n)*8*2 // Āᵀ + two matvec temps
-	} else {
-		sim, err := sparse.SimilarityContext(ctx, a, hub, colCounts)
-		if err != nil {
-			return nil, err
-		}
-		simBytes = sim.ModeledBytes()
-		op = eigen.NewNormalizedSimilarity(sim)
+	op, simBytes, simMode, err := buildSimilarityOperator(ctx, a, opts)
+	if err != nil {
+		return nil, err
 	}
 	endSimilarity()
 
@@ -197,6 +192,7 @@ func (s Spectral) ReorderContext(ctx context.Context, a *sparse.CSR) (*SpectralR
 		MatVecs:        res.MatVecs,
 		KMeansIters:    km.Iters,
 		Inertia:        km.Inertia,
+		Similarity:     simMode,
 		PreprocessTime: time.Since(start),
 		FootprintBytes: foot + int64(n)*4,
 	}, nil
@@ -246,14 +242,17 @@ func buildEmbedding(vectors [][]float64, n, k int) []float64 {
 // SpectralResult carries the permutation plus the intermediate artifacts the
 // experiments and the decision-tree labeller inspect.
 type SpectralResult struct {
-	Perm           sparse.Permutation
-	Assign         []int32
-	Embedding      []float64 // n×K row-major spectral embedding
-	K              int
-	Eigenvalues    []float64 // of M = D^{-1/2}SD^{-1/2}, descending
-	MatVecs        int
-	KMeansIters    int
-	Inertia        float64
+	Perm        sparse.Permutation
+	Assign      []int32
+	Embedding   []float64 // n×K row-major spectral embedding
+	K           int
+	Eigenvalues []float64 // of M = D^{-1/2}SD^{-1/2}, descending
+	MatVecs     int
+	KMeansIters int
+	Inertia     float64
+	// Similarity is the resolved tier the similarity phase actually ran
+	// (never SimAuto).
+	Similarity     SimilarityMode
 	PreprocessTime time.Duration
 	FootprintBytes int64
 }

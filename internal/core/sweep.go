@@ -66,16 +66,9 @@ func SpectralSweepContext(ctx context.Context, a *sparse.CSR, ks []int, opts Spe
 	embedStart := time.Now()
 	endSimilarity := obs.StartStage(ctx, obs.StageSimilarity)
 	defer endSimilarity()
-	hub, colCounts := resolveHub(a, opts.HubThreshold)
-	var op eigen.Operator
-	if opts.ImplicitSimilarity {
-		op = eigen.NewImplicitSimilarityCappedWithCounts(a, hub, colCounts)
-	} else {
-		sim, err := sparse.SimilarityContext(ctx, a, hub, colCounts)
-		if err != nil {
-			return nil, err
-		}
-		op = eigen.NewNormalizedSimilarity(sim)
+	op, _, _, err := buildSimilarityOperator(ctx, a, opts)
+	if err != nil {
+		return nil, err
 	}
 	endSimilarity()
 	eo := opts.Eigen

@@ -89,24 +89,29 @@ type NormalizedSimilarity struct {
 
 // NewNormalizedSimilarity builds the normalized operator from an explicit
 // similarity matrix. Isolated rows (zero degree) get InvSqrt 0, which leaves
-// them as fixed points of the operator — the standard convention.
+// them as fixed points of the operator — the standard convention. The degree
+// sums are row-parallel over disjoint chunks (each row's sum is accumulated
+// in row order within its chunk), so the operator is bit-identical for any
+// worker count.
 func NewNormalizedSimilarity(s *sparse.CSR) *NormalizedSimilarity {
 	n := s.Rows
 	inv := make([]float64, n)
-	for i := 0; i < n; i++ {
-		sum := 0.0
-		vals := s.RowVals(i)
-		if vals == nil {
-			sum = float64(s.RowNNZ(i))
-		} else {
-			for _, v := range vals {
-				sum += v
+	parallel.For(n, scaleGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum := 0.0
+			vals := s.RowVals(i)
+			if vals == nil {
+				sum = float64(s.RowNNZ(i))
+			} else {
+				for _, v := range vals {
+					sum += v
+				}
+			}
+			if sum > 0 {
+				inv[i] = 1 / sqrt(sum)
 			}
 		}
-		if sum > 0 {
-			inv[i] = 1 / sqrt(sum)
-		}
-	}
+	})
 	return &NormalizedSimilarity{S: s, InvSqrt: inv, tmp: make([]float64, n)}
 }
 

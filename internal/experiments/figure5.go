@@ -53,7 +53,7 @@ func Figure5(c Config) (*Figure5Result, error) {
 
 	bootes := func() reorder.Reorderer {
 		return &core.Pipeline{ForceReorder: true, ForceK: 8,
-			Spectral: core.SpectralOptions{Seed: c.Seed, Eigen: looseEigen(), KMeans: looseKMeans()}}
+			Spectral: looseSpectral(c)}
 	}
 	baselines := []func() reorder.Reorderer{
 		func() reorder.Reorderer { return reorder.Gamma{Seed: c.Seed} },

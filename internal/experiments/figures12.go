@@ -131,7 +131,7 @@ func Figure2(c Config) (*Figure2Result, error) {
 		}
 	}
 	for _, k := range core.CandidateKs {
-		res, err := core.FixedK{K: k, Opts: core.SpectralOptions{Seed: c.Seed, Eigen: looseEigen(), KMeans: looseKMeans()}}.Reorder(a)
+		res, err := core.FixedK{K: k, Opts: looseSpectral(c)}.Reorder(a)
 		if err != nil {
 			return nil, err
 		}

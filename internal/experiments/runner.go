@@ -48,6 +48,16 @@ type Config struct {
 	// deterministic regardless of Jobs — every job is seeded independently
 	// and outputs are merged in workload order.
 	Jobs int
+	// Similarity pins the similarity tier of every spectral pass the drivers
+	// run (the benchsuite -similarity flag). The zero value (auto) keeps the
+	// size/density selector; set core.SimExact to force the paper-literal
+	// kernel on every workload regardless of size.
+	Similarity core.SimilarityMode
+}
+
+// spectral returns the driver-wide spectral options seeded with seed.
+func (c Config) spectral(seed int64) core.SpectralOptions {
+	return core.SpectralOptions{Seed: seed, Similarity: c.Similarity}
 }
 
 // WithDefaults fills zero fields.
@@ -107,7 +117,7 @@ func (c Config) reorderers(a *sparse.CSR) []reorder.Reorderer {
 		}
 	}
 	return []reorder.Reorderer{
-		&core.Pipeline{Model: c.Model, Spectral: core.SpectralOptions{Seed: c.Seed}},
+		&core.Pipeline{Model: c.Model, Spectral: c.spectral(c.Seed)},
 		reorder.Gamma{Seed: c.Seed, W: w},
 		reorder.Graph{Seed: c.Seed},
 		reorder.Hier{},

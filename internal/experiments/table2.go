@@ -45,7 +45,7 @@ func Table2(c Config) (*Table2Result, error) {
 	const fixedPop = 12.0
 
 	algos := []reorder.Reorderer{
-		&core.Pipeline{ForceReorder: true, ForceK: 8, Spectral: core.SpectralOptions{Seed: c.Seed, Eigen: looseEigen(), KMeans: looseKMeans()}},
+		&core.Pipeline{ForceReorder: true, ForceK: 8, Spectral: looseSpectral(c)},
 		reorder.Gamma{Seed: c.Seed},
 		reorder.Graph{Seed: c.Seed},
 		reorder.Hier{},

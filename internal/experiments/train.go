@@ -69,11 +69,7 @@ func (c Config) LabelMatrix(spec workloads.Spec, a *sparse.CSR) (LabeledMatrix, 
 	}
 
 	ks := candidateKsFor(a.Rows)
-	entries, err := core.SpectralSweep(a, ks, core.SpectralOptions{
-		Seed:   c.Seed,
-		Eigen:  looseEigen(),
-		KMeans: looseKMeans(),
-	})
+	entries, err := core.SpectralSweep(a, ks, looseSpectral(c))
 	if err != nil {
 		return lm, err
 	}
@@ -137,6 +133,14 @@ func candidateKsFor(n int) []int {
 // clustering only needs a rough subspace.
 func looseEigen() eigen.Options {
 	return eigen.Options{Tol: 1e-4, MaxRestarts: 8}
+}
+
+// looseSpectral bundles the loose eigensolver and k-means options with the
+// run's seed and pinned similarity tier.
+func looseSpectral(c Config) core.SpectralOptions {
+	return core.SpectralOptions{
+		Seed: c.Seed, Eigen: looseEigen(), KMeans: looseKMeans(), Similarity: c.Similarity,
+	}
 }
 
 // looseKMeans trades a little clustering polish for labelling throughput.

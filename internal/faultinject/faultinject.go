@@ -53,6 +53,11 @@ const (
 	// the verification sites — PlanContext, plancache.Put, planserve — must
 	// all catch the corruption and refuse to return, cache, or serve it.
 	PlanCorrupt = "planverify/corrupt-plan"
+
+	// LSHSparsifyFail makes the approximate similarity sparsifier
+	// (lsh.SparsifiedSimilarity) fail, driving the degradation ladder from
+	// the approximate rung down to the implicit-similarity rung.
+	LSHSparsifyFail = "lsh/sparsify-fail"
 )
 
 // points enumerates every trigger point declared above, in declaration
@@ -69,6 +74,7 @@ var points = []string{
 	CacheWriteRename,
 	BreakerProbeFail,
 	PlanCorrupt,
+	LSHSparsifyFail,
 }
 
 // Points returns every declared injection point. The slice is a copy; the

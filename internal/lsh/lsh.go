@@ -9,8 +9,11 @@
 package lsh
 
 import (
+	"context"
 	"math/rand"
-	"sort"
+	"slices"
+
+	"bootes/internal/parallel"
 )
 
 // Params configures MinHash LSH. The paper notes Hier uses fixed parameters
@@ -19,6 +22,17 @@ type Params struct {
 	SigLen int   // number of minhash functions (signature length)
 	BSize  int   // rows per band; SigLen should be a multiple of BSize
 	Seed   int64 // PRNG seed for the hash family
+	// MaxDegree, when positive, caps the off-diagonal entries per row kept by
+	// SparsifiedSimilarity (symmetric greedy cap in deterministic pair order).
+	// It has no effect on candidate-pair generation itself. 0 keeps every
+	// candidate pair.
+	MaxDegree int
+	// BucketCap bounds the quadratic expansion of each band bucket: a bucket
+	// emits all pairs among its first BucketCap rows plus a chain through the
+	// rest. 0 means the legacy cap of 64. Smaller caps shrink the raw
+	// candidate volume roughly quadratically while banding across many bands
+	// keeps every row connected to plenty of its bucket-mates.
+	BucketCap int
 }
 
 // DefaultParams are the fixed parameters used by the Hier reorderer. The
@@ -27,6 +41,22 @@ type Params struct {
 // parameters the Hier baseline ships with — at the cost of the large
 // candidate sets the paper charges to its runtime.
 func DefaultParams() Params { return Params{SigLen: 64, BSize: 2, Seed: 0x5eed} }
+
+// SparsifyParams are the fixed parameters of the similarity-sparsifier tier.
+// Where Hier's bands of 2 target the moderate Jaccard range, the sparsifier
+// must recall row groups whose pairwise Jaccard is far lower (two rows with
+// 10 of 128 shared support columns sit near J ≈ 0.04): single-row bands make
+// the per-band collision probability J itself, so 64 bands recall such pairs
+// with probability 1-(1-J)^64 ≈ 0.93. The resulting candidate inflation is
+// contained by the dense-bucket cap and the symmetric per-row degree cap —
+// spectral clustering needs each row connected to *enough* of its group, not
+// to all of it.
+// The tight BucketCap is safe for the same reason the degree cap is: with 64
+// independent bands, a row meets different bucket-mates in each, so its
+// candidate set stays far larger than the MaxDegree budget it can spend.
+func SparsifyParams() Params {
+	return Params{SigLen: 64, BSize: 1, Seed: 0x5eed, MaxDegree: 64, BucketCap: 16}
+}
 
 // Pair is an unordered candidate row pair with A < B.
 type Pair struct{ A, B int32 }
@@ -49,6 +79,24 @@ type Index struct {
 // Build computes signatures for n rows, where rowSupport(i) returns the
 // sorted column support of row i.
 func Build(n int, rowSupport func(i int) []int32, p Params) *Index {
+	ix, err := BuildContext(context.Background(), n, rowSupport, p)
+	if err != nil {
+		// The background context cannot be cancelled and BuildContext has no
+		// other failure mode.
+		panic("lsh: internal build error: " + err.Error())
+	}
+	return ix
+}
+
+// sigGrain is the fixed row-chunk size of the parallel signature build.
+// Row signatures are independent and written to disjoint regions, so the
+// index is bit-identical for any worker count.
+const sigGrain = 64
+
+// BuildContext is Build with cooperative cancellation and row-parallel
+// signature computation. The hash family is drawn sequentially from the seed
+// before any parallel work, so equal seeds give identical indices.
+func BuildContext(ctx context.Context, n int, rowSupport func(i int) []int32, p Params) (*Index, error) {
 	if p.SigLen <= 0 {
 		p.SigLen = DefaultParams().SigLen
 	}
@@ -64,22 +112,27 @@ func Build(n int, rowSupport func(i int) []int32, p Params) *Index {
 	}
 	ix.sig = make([]uint64, n*p.SigLen)
 	const empty = ^uint64(0)
-	for i := 0; i < n; i++ {
-		s := ix.sig[i*p.SigLen : (i+1)*p.SigLen]
-		for k := range s {
-			s[k] = empty
-		}
-		for _, c := range rowSupport(i) {
-			x := uint64(c) + 0x9e3779b97f4a7c15
-			for k, h := range ix.funcs {
-				v := h.hash(x)
-				if v < s[k] {
-					s[k] = v
+	err := parallel.ForContext(ctx, n, sigGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := ix.sig[i*p.SigLen : (i+1)*p.SigLen]
+			for k := range s {
+				s[k] = empty
+			}
+			for _, c := range rowSupport(i) {
+				x := uint64(c) + 0x9e3779b97f4a7c15
+				for k, h := range ix.funcs {
+					v := h.hash(x)
+					if v < s[k] {
+						s[k] = v
+					}
 				}
 			}
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	return ix
+	return ix, nil
 }
 
 // Signature returns row i's minhash signature (a view).
@@ -103,66 +156,120 @@ func (ix *Index) SignatureSimilarity(i, j int) float64 {
 // CandidatePairs buckets rows by band hash and returns the deduplicated set
 // of pairs that collide in at least one band, sorted for determinism.
 func (ix *Index) CandidatePairs() []Pair {
-	bands := ix.params.SigLen / ix.params.BSize
-	type bandKey struct {
-		band int
-		h    uint64
+	pairs, err := ix.PairsContext(context.Background())
+	if err != nil {
+		// The background context cannot be cancelled and PairsContext has no
+		// other failure mode.
+		panic("lsh: internal candidate-pair error: " + err.Error())
 	}
-	buckets := make(map[bandKey][]int32)
-	for i := 0; i < ix.n; i++ {
-		s := ix.Signature(i)
-		for b := 0; b < bands; b++ {
-			var h uint64 = 1469598103934665603 // FNV offset basis
-			for _, v := range s[b*ix.params.BSize : (b+1)*ix.params.BSize] {
-				h ^= v
-				h *= 1099511628211
-			}
-			k := bandKey{band: b, h: h}
-			buckets[k] = append(buckets[k], int32(i))
-		}
-	}
-	seen := make(map[Pair]struct{})
-	for _, rows := range buckets {
-		if len(rows) < 2 {
-			continue
-		}
-		// Cap the pair blow-up of huge buckets: a bucket of m rows yields
-		// m-1 chained pairs plus all pairs among the first few rows. Huge
-		// buckets arise from degenerate patterns (e.g. empty rows) and full
-		// quadratic expansion would defeat LSH's purpose.
-		const denseCap = 64
-		limit := len(rows)
-		if limit > denseCap {
-			limit = denseCap
-		}
-		for x := 0; x < limit; x++ {
-			for y := x + 1; y < limit; y++ {
-				a, b := rows[x], rows[y]
-				if a > b {
-					a, b = b, a
-				}
-				seen[Pair{a, b}] = struct{}{}
-			}
-		}
-		for x := denseCap; x < len(rows)-1; x++ {
-			a, b := rows[x], rows[x+1]
-			if a > b {
-				a, b = b, a
-			}
-			seen[Pair{a, b}] = struct{}{}
-		}
-	}
-	pairs := make([]Pair, 0, len(seen))
-	for p := range seen {
-		pairs = append(pairs, p)
-	}
-	sort.Slice(pairs, func(x, y int) bool {
-		if pairs[x].A != pairs[y].A {
-			return pairs[x].A < pairs[y].A
-		}
-		return pairs[x].B < pairs[y].B
-	})
 	return pairs
+}
+
+// bandEntry is one row's hash within a single band; sorting entries by
+// (hash, row) turns equal-hash runs into the band's buckets with rows in
+// ascending order — the same bucket contents the map-based construction
+// produced, but discoverable band-parallel and without map iteration order
+// anywhere near the result.
+type bandEntry struct {
+	h   uint64
+	row int32
+}
+
+// PairsContext is CandidatePairs with cooperative cancellation and
+// band-parallel bucketing. Bands write disjoint pair slices that are merged,
+// sorted, and deduplicated at the end, so the result is identical for any
+// worker count. Pairs travel as packed uint64 keys (A in the high word) so
+// the merge sort runs on machine integers — candidate volume reaches tens of
+// millions on large clustered inputs, where an interface-based comparison
+// sort dominated the whole sparsifier.
+func (ix *Index) PairsContext(ctx context.Context) ([]Pair, error) {
+	bands := ix.params.SigLen / ix.params.BSize
+	perBand := make([][]uint64, bands)
+	err := parallel.ForContext(ctx, bands, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			perBand[b] = ix.bandPairKeys(b)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, ps := range perBand {
+		total += len(ps)
+	}
+	keys := make([]uint64, 0, total)
+	for _, ps := range perBand {
+		keys = append(keys, ps...)
+	}
+	sortPairKeys(keys)
+	// Deduplicate pairs that collided in more than one band. Packed keys
+	// order exactly as (A, B) lexicographic order, so the unpacked list is
+	// sorted the way every downstream consumer expects.
+	keys = slices.Compact(keys)
+	pairs := make([]Pair, len(keys))
+	for i, k := range keys {
+		pairs[i] = Pair{A: int32(k >> 32), B: int32(k)}
+	}
+	return pairs, nil
+}
+
+// bandPairKeys returns band b's candidate pairs as packed uint64 keys
+// (A<<32 | B with A < B; duplicates possible across bands but not within
+// one).
+func (ix *Index) bandPairKeys(b int) []uint64 {
+	bs := ix.params.BSize
+	entries := make([]bandEntry, ix.n)
+	for i := 0; i < ix.n; i++ {
+		seg := ix.Signature(i)[b*bs : (b+1)*bs]
+		var h uint64 = 1469598103934665603 // FNV offset basis
+		for _, v := range seg {
+			h ^= v
+			h *= 1099511628211
+		}
+		entries[i] = bandEntry{h: h, row: int32(i)}
+	}
+	slices.SortFunc(entries, func(x, y bandEntry) int {
+		if x.h != y.h {
+			if x.h < y.h {
+				return -1
+			}
+			return 1
+		}
+		return int(x.row - y.row)
+	})
+	var out []uint64
+	for lo := 0; lo < len(entries); {
+		hi := lo + 1
+		for hi < len(entries) && entries[hi].h == entries[lo].h {
+			hi++
+		}
+		if m := hi - lo; m >= 2 {
+			// Cap the pair blow-up of big buckets: a bucket of m rows yields
+			// all pairs among its first denseCap rows plus a chain through
+			// the rest. Huge buckets arise from degenerate patterns (e.g.
+			// empty rows) and full quadratic expansion would defeat LSH's
+			// purpose.
+			denseCap := ix.params.BucketCap
+			if denseCap <= 0 {
+				denseCap = 64
+			}
+			limit := m
+			if limit > denseCap {
+				limit = denseCap
+			}
+			for x := 0; x < limit; x++ {
+				a := uint64(entries[lo+x].row) << 32
+				for y := x + 1; y < limit; y++ {
+					out = append(out, a|uint64(entries[lo+y].row))
+				}
+			}
+			for x := denseCap; x < m-1; x++ {
+				out = append(out, uint64(entries[lo+x].row)<<32|uint64(entries[lo+x+1].row))
+			}
+		}
+		lo = hi
+	}
+	return out
 }
 
 // ModeledBytes returns the deterministic size of the signature storage plus

@@ -1,0 +1,52 @@
+package lsh
+
+import "slices"
+
+// sortPairKeys sorts packed pair keys (A<<32 | B) ascending. Keys are radix
+// sorted: an LSD counting sort over 16-bit digits, skipping digits on which
+// every key agrees. Row ids are small, so the top digit of each word is
+// usually constant and large inputs sort in two linear passes — on the
+// multi-million-key candidate lists the sparsifier produces this is several
+// times faster than a comparison sort, with the identical (total-order)
+// result. Small inputs fall back to slices.Sort, where the counting pass
+// would dominate.
+func sortPairKeys(keys []uint64) {
+	const digits = 4
+	const radix = 1 << 16
+	if len(keys) < 4*radix {
+		slices.Sort(keys)
+		return
+	}
+	var hist [digits][radix]int32
+	for _, k := range keys {
+		hist[0][k&0xffff]++
+		hist[1][(k>>16)&0xffff]++
+		hist[2][(k>>32)&0xffff]++
+		hist[3][(k>>48)&0xffff]++
+	}
+	buf := make([]uint64, len(keys))
+	src, dst := keys, buf
+	for d := 0; d < digits; d++ {
+		h := &hist[d]
+		// A digit where all keys share one value permutes nothing — skip it.
+		if h[src[0]>>(16*d)&0xffff] == int32(len(keys)) {
+			continue
+		}
+		sum := int32(0)
+		for v := range h {
+			c := h[v]
+			h[v] = sum
+			sum += c
+		}
+		shift := 16 * d
+		for _, k := range src {
+			v := (k >> shift) & 0xffff
+			dst[h[v]] = k
+			h[v]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
+}

@@ -1,0 +1,49 @@
+package lsh
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestSortPairKeysMatchesComparisonSort drives both the small-input fallback
+// and the radix path (the latter needs >256k keys) against slices.Sort on
+// seeded random packed pairs, including duplicate-heavy and constant-digit
+// distributions.
+func TestSortPairKeysMatchesComparisonSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	cases := []struct {
+		name string
+		n    int
+		key  func() uint64
+	}{
+		{"small", 1000, func() uint64 {
+			return uint64(rng.Intn(500))<<32 | uint64(rng.Intn(500))
+		}},
+		{"radix-small-rows", 300_000, func() uint64 {
+			// Row ids under 2^15: two of the four digit passes are trivial.
+			return uint64(rng.Intn(20_000))<<32 | uint64(rng.Intn(20_000))
+		}},
+		{"radix-large-rows", 300_000, func() uint64 {
+			// Row ids crossing the 16-bit digit boundary.
+			return uint64(rng.Intn(1<<20))<<32 | uint64(rng.Intn(1<<20))
+		}},
+		{"radix-duplicates", 280_000, func() uint64 {
+			return uint64(rng.Intn(64))<<32 | uint64(rng.Intn(64))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			keys := make([]uint64, tc.n)
+			for i := range keys {
+				keys[i] = tc.key()
+			}
+			want := slices.Clone(keys)
+			slices.Sort(want)
+			sortPairKeys(keys)
+			if !slices.Equal(keys, want) {
+				t.Fatal("sortPairKeys disagrees with slices.Sort")
+			}
+		})
+	}
+}

@@ -195,6 +195,18 @@ const (
 	rungFailuresName = "bootes_plan_rung_failures_total"
 )
 
+// SimilarityModeName is the counter family recording which similarity tier
+// (exact, bitset, approx, implicit) each spectral pass actually ran with
+// (label: mode). Exported so serving processes can read it back out of their
+// registries for /metrics assertions.
+const SimilarityModeName = "bootes_similarity_mode_total"
+
+// SimilarityModeUsed counts one spectral pass by the similarity tier it ran.
+func SimilarityModeUsed(ctx context.Context, mode string) {
+	RegistryFrom(ctx).CounterVec(SimilarityModeName,
+		"Spectral passes by similarity construction tier.", "mode").With(mode).Inc()
+}
+
 // Plan outcome labels.
 const (
 	OutcomeHealthy  = "healthy"  // reordered or gate-declined, no degradation

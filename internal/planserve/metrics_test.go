@@ -153,6 +153,9 @@ bootes_serve_shed_total 0
 # HELP bootes_serve_verify_violations_total Plan-verification violations observed by this server.
 # TYPE bootes_serve_verify_violations_total counter
 bootes_serve_verify_violations_total 0
+# HELP bootes_similarity_mode_total Spectral passes by similarity construction tier.
+# TYPE bootes_similarity_mode_total counter
+bootes_similarity_mode_total{mode="exact"} 1
 `
 
 // TestMetricsGolden pins the full exposition of a fixed fake-clock scenario:

@@ -38,6 +38,7 @@ func planResponseFromResult(key string, m *sparse.CSR, res *reorder.Result) *Pla
 		PreprocessSeconds: res.PreprocessTime.Seconds(),
 		FootprintBytes:    res.FootprintBytes,
 		Rows:              m.Rows,
+		SimilarityMode:    res.SimilarityMode,
 		Perm:              res.Perm,
 	}
 }

@@ -295,6 +295,10 @@ type PlanResponse struct {
 	PreprocessSeconds float64 `json:"preprocessSeconds"`
 	FootprintBytes    int64   `json:"footprintBytes"`
 	Rows              int     `json:"rows"`
+	// SimilarityMode names the similarity tier the spectral pass ran
+	// ("exact", "bitset", "approx", "implicit"); empty when no spectral pass
+	// ran this request (gate decline, identity fallback, cache hit).
+	SimilarityMode string `json:"similarityMode,omitempty"`
 	// Cached is true when the plan came from the persistent cache;
 	// Coalesced when it was computed by a concurrent identical request;
 	// Breaker is "open" when the identity fast-path answered.

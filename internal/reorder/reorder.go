@@ -38,6 +38,10 @@ type Result struct {
 	// DegradedReason is the human-readable trail of degradation decisions,
 	// empty when Degraded is false.
 	DegradedReason string
+	// SimilarityMode names the similarity tier the spectral pass ran
+	// ("exact", "bitset", "approx", "implicit"). Empty when no spectral pass
+	// ran (gate decline, identity fallback, baselines).
+	SimilarityMode string
 	// Extra carries algorithm-specific diagnostics (e.g. Lanczos matvec
 	// count, chosen k) for the experiment reports.
 	Extra map[string]float64

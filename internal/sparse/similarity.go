@@ -143,15 +143,52 @@ func HubDegreeThresholdFromCounts(counts []int) int {
 // with them every merge order — are identical no matter how many workers run.
 const rowGrain = 64
 
-// spaScratch is the per-worker sparse-accumulator state of spgemmCount. The
-// mark array uses the row index as its stamp, so it never needs re-clearing:
-// each row is processed exactly once per scratch, and a stale stamp from a
-// different row can never equal the current one.
+// spaScratch is the per-worker sparse-accumulator state of the similarity
+// kernels, pooled at package level so repeated planner calls reuse the same
+// buffers instead of reallocating per call. The mark array is stamped with a
+// monotonic per-scratch generation counter: every row processed draws a fresh
+// stamp, so stale marks — from earlier rows, earlier passes, or earlier
+// calls — can never equal the current stamp and the arrays never need
+// re-clearing. wordAcc (the bitset path's dense word accumulator) is instead
+// kept all-zero between uses by its sole consumer.
 type spaScratch struct {
 	acc     []float64
 	mark    []int64
 	touched []int32
+	wordAcc []uint64
+	colAcc  []uint64
+	next    int64
 }
+
+var spaPool sync.Pool
+
+// getScratch returns a pooled scratch whose mark (and acc, wordAcc, colAcc
+// when requested non-zero) arrays hold at least the given lengths. Fresh mark
+// regions are initialized to -1, which no generation stamp ever equals.
+func getScratch(markLen, accLen, wordLen, colWordLen int) *spaScratch {
+	s, _ := spaPool.Get().(*spaScratch)
+	if s == nil {
+		s = &spaScratch{touched: make([]int32, 0, 256)}
+	}
+	if len(s.mark) < markLen {
+		s.mark = make([]int64, markLen)
+		for i := range s.mark {
+			s.mark[i] = -1
+		}
+	}
+	if len(s.acc) < accLen {
+		s.acc = make([]float64, accLen)
+	}
+	if len(s.wordAcc) < wordLen {
+		s.wordAcc = make([]uint64, wordLen)
+	}
+	if len(s.colAcc) < colWordLen {
+		s.colAcc = make([]uint64, colWordLen)
+	}
+	return s
+}
+
+func putScratch(s *spaScratch) { spaPool.Put(s) }
 
 // spgemmCount is SpGEMM specialized to binary inputs: the output value is
 // the count of contributing k's, i.e. |row_i(A) ∩ row_j(Aᵀᵀ)| for S=A·Aᵀ.
@@ -171,31 +208,21 @@ func spgemmCount(ctx context.Context, a, b *CSR) (*CSR, error) {
 	c.RowPtr = make([]int64, a.Rows+1)
 	c.Val = []float64{} // counts are values, even when empty
 
-	scratch := sync.Pool{New: func() any {
-		s := &spaScratch{
-			acc:     make([]float64, b.Cols),
-			mark:    make([]int64, b.Cols),
-			touched: make([]int32, 0, 256),
-		}
-		for i := range s.mark {
-			s.mark[i] = -1
-		}
-		return s
-	}}
-
 	// Pass 1: count nnz per output row (mark-only accumulator walk). Scratch
 	// is returned via defer so an early exit (panic or cancellation between
 	// chunks) never strands a buffer outside the pool.
 	rowNNZ := make([]int64, a.Rows)
 	err := parallel.ForContext(ctx, a.Rows, rowGrain, func(lo, hi int) {
-		s := scratch.Get().(*spaScratch)
-		defer scratch.Put(s)
+		s := getScratch(b.Cols, 0, 0, 0)
+		defer putScratch(s)
 		for i := lo; i < hi; i++ {
+			stamp := s.next
+			s.next++
 			n := int64(0)
 			for _, k := range a.Row(i) {
 				for _, j := range b.Row(int(k)) {
-					if s.mark[j] != int64(i) {
-						s.mark[j] = int64(i)
+					if s.mark[j] != stamp {
+						s.mark[j] = stamp
 						n++
 					}
 				}
@@ -212,14 +239,14 @@ func spgemmCount(ctx context.Context, a, b *CSR) (*CSR, error) {
 	c.Col = make([]int32, c.RowPtr[a.Rows])
 	c.Val = make([]float64, c.RowPtr[a.Rows])
 
-	// Pass 2: fill each row's pre-sized slice region. Stamps are offset by
-	// a.Rows so they can never collide with a pass-1 stamp (or the -1
-	// initializer) on a reused scratch.
+	// Pass 2: fill each row's pre-sized slice region. Each row draws a fresh
+	// generation stamp, so pass-1 marks on a reused scratch can never collide.
 	err = parallel.ForContext(ctx, a.Rows, rowGrain, func(lo, hi int) {
-		s := scratch.Get().(*spaScratch)
-		defer scratch.Put(s)
+		s := getScratch(b.Cols, b.Cols, 0, 0)
+		defer putScratch(s)
 		for i := lo; i < hi; i++ {
-			stamp := int64(i) + int64(a.Rows)
+			stamp := s.next
+			s.next++
 			s.touched = s.touched[:0]
 			for _, k := range a.Row(i) {
 				for _, j := range b.Row(int(k)) {
