@@ -11,14 +11,19 @@
 #                  plan-cancellation stress test), with a multi-core scheduler
 #   make race-serve — focused race pass over the serving layer: the plan
 #                  cache's concurrent put/get paths, planserve's
-#                  coalescing/admission/breaker storms, and the metrics
-#                  registry's concurrent instrument updates
+#                  coalescing/admission/breaker storms, the durable async
+#                  queue's worker/crash paths, and the metrics registry's
+#                  concurrent instrument updates
 #   make fuzz    — short fuzzing smoke over the sparse-format parsers, the
 #                  CSR constructor, and the plan-cache entry decoder (the
 #                  hostile-input hardening targets)
 #   make chaos   — the long chaos soak: CHAOS_EPISODES (default 2000) seeded
-#                  end-to-end episodes through plan→cache→serve with faults
-#                  armed, asserting the global invariants after each
+#                  end-to-end episodes through plan→cache→serve→queue with
+#                  faults armed (including queue-crash and tenant-storm),
+#                  asserting the global invariants after each, plus the dense
+#                  QUEUE_EPISODES (default 2000) queue-crash-only soak
+#   make bench-queue — the durable-queue benchmark behind BENCH_queue.json
+#                  (enqueue/drain throughput, journal replay at 10k jobs)
 #   make bench   — the parallel-layer benchmarks behind BENCH_parallel.json
 #   make bench-matrix — the similarity/eigen/k-means/sweep benchmarks across
 #                  BOOTES_WORKERS ∈ {1,2,4,max} plus the end-to-end
@@ -29,10 +34,11 @@ GO ?= go
 FUZZTIME ?= 10s
 CHAOS_EPISODES ?= 2000
 CHAOS_SEED ?= 20250806
+QUEUE_EPISODES ?= 2000
 
 OBS_COVER_FLOOR ?= 60.0
 
-.PHONY: check vet build test cover race race-serve fuzz fuzz-seeds chaos chaos-short bench bench-matrix report
+.PHONY: check vet build test cover race race-serve fuzz fuzz-seeds chaos chaos-short bench bench-matrix bench-queue report
 
 check: vet build test fuzz-seeds chaos-short cover
 
@@ -65,7 +71,7 @@ race:
 
 race-serve:
 	GOMAXPROCS=4 $(GO) test -race -count=2 -timeout 10m \
-		./internal/plancache/... ./internal/planserve/ ./internal/obs/
+		./internal/plancache/... ./internal/planserve/ ./internal/planqueue/ ./internal/obs/
 
 # Seed-corpus-only pass: every fuzz target replays its checked-in corpus as
 # plain tests (no mutation engine), so check catches corpus regressions fast.
@@ -77,10 +83,13 @@ fuzz-seeds:
 chaos-short:
 	$(GO) test ./internal/chaos/ -run TestChaosEpisodes -count=1
 
-# The long soak. Reproduce a red run with: make chaos CHAOS_SEED=<seed>.
+# The long soak: the mixed schedule (which includes the queue-crash and
+# tenant-storm scenarios) plus the dense queue-crash-only crash/restart soak.
+# Reproduce a red run with: make chaos CHAOS_SEED=<seed>.
 chaos:
-	$(GO) test ./internal/chaos/ -run TestChaosEpisodes -count=1 -v -timeout 60m \
-		-chaos.episodes=$(CHAOS_EPISODES) -chaos.seed=$(CHAOS_SEED)
+	$(GO) test ./internal/chaos/ -run 'TestChaosEpisodes|TestQueueCrashSoak' -count=1 -v -timeout 60m \
+		-chaos.episodes=$(CHAOS_EPISODES) -chaos.seed=$(CHAOS_SEED) \
+		-chaos.queue-episodes=$(QUEUE_EPISODES)
 
 # go accepts one -fuzz pattern per invocation, so each target gets its own.
 fuzz:
@@ -109,6 +118,12 @@ bench-matrix:
 		$(GO) test ./internal/core/ -run XXX -bench 'Eigensolve|Sweep' -benchtime 5x || exit 1; \
 	done
 	$(GO) run ./cmd/benchfast -rows 20000 -nnz 48 -workers 1,2,4,0 -seed 7 -reps 3 -out BENCH_fastpath.json
+
+# Queue benchmark: fsync-acked enqueue throughput, cold journal replay at
+# 10k jobs, and worker-pool drain throughput. Rerun after touching the
+# journal, spool, or WFQ scheduler.
+bench-queue:
+	$(GO) run ./cmd/benchqueue -jobs 10000 -out BENCH_queue.json
 
 report:
 	$(GO) run ./cmd/benchsuite -scale 0.12 -jobs 4 -out report.txt

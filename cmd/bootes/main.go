@@ -8,7 +8,7 @@
 //	bootes simulate -in A.mtx [-accel Flexagon] [-reorder bootes|gamma|graph|hier|none]
 //	bootes compare  -in A.mtx [-accel GAMMA]      # all methods side by side
 //	bootes spy      -in A.mtx [-pgm out.pgm]      # sparsity pattern plot
-//	bootes plan     -in A.mtx [-server http://localhost:8080]  # plan via a running bootesd
+//	bootes plan     -in A.mtx [-server http://localhost:8080] [-async] [-tenant team-a]  # plan via a running bootesd
 //
 // Commands that run the planning pipeline (analyze, reorder, plan) accept
 // -timeout (a planning deadline, enforced through PlanContext), -strict
@@ -19,14 +19,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -427,14 +430,20 @@ func cmdPlan(args []string) {
 	seed := fs.Int64("seed", 1, "random seed (in-process mode only)")
 	timeout := fs.Duration("timeout", 60*time.Second, "planning deadline (sent as X-Deadline to the daemon)")
 	strict := fs.Bool("strict", false, "exit non-zero if the plan is degraded")
+	async := fs.Bool("async", false, "submit to the daemon's async queue and poll the job until it finishes (needs -server)")
+	tenant := fs.String("tenant", "", "tenant identity sent as X-Tenant (quota accounting on the daemon)")
+	retries := fs.Int("retries", 5, "max retries when the daemon sheds with 429 (Retry-After is honored)")
 	similarity := similarityFlag(fs)
 	fs.Parse(args)
 	if *in == "" {
 		log.Fatal("plan: -in is required")
 	}
 	if *server != "" {
-		planRemote(*server, *in, *timeout, *strict)
+		planRemote(*server, *in, *timeout, *strict, *async, *tenant, *retries)
 		return
+	}
+	if *async {
+		log.Fatal("plan: -async requires -server (in-process planning is already synchronous)")
 	}
 
 	m := readMatrix(*in)
@@ -482,48 +491,121 @@ func parseSimilarity(s string) bootes.SimilarityMode {
 	return mode
 }
 
-// planRemote posts the matrix file to a bootesd daemon and prints the reply.
-func planRemote(server, in string, timeout time.Duration, strict bool) {
-	f, err := os.Open(in)
+// remotePlan mirrors the daemon's PlanResponse fields the CLI reports on.
+type remotePlan struct {
+	Key               string  `json:"key"`
+	Reordered         bool    `json:"reordered"`
+	K                 int     `json:"k"`
+	Degraded          bool    `json:"degraded"`
+	DegradedReason    string  `json:"degradedReason"`
+	PreprocessSeconds float64 `json:"preprocessSeconds"`
+	Cached            bool    `json:"cached"`
+	Coalesced         bool    `json:"coalesced"`
+	Breaker           string  `json:"breaker"`
+}
+
+// remoteJob mirrors the daemon's JobResponse for the async submit/poll path.
+type remoteJob struct {
+	JobID    string      `json:"job_id"`
+	State    string      `json:"state"`
+	Attempts int         `json:"attempts"`
+	Deduped  bool        `json:"deduped"`
+	Reason   string      `json:"reason"`
+	Plan     *remotePlan `json:"plan"`
+}
+
+// remoteClient wraps a bootesd endpoint with shed-aware retries: a 429 reply
+// is retried up to maxRetries times, sleeping for the server's Retry-After
+// hint (jittered so a shed burst does not re-synchronize) before trying again.
+type remoteClient struct {
+	base       string
+	client     *http.Client
+	tenant     string
+	maxRetries int
+	rng        *rand.Rand
+}
+
+// do issues one request (re-sending payload on each attempt) and returns the
+// final response metadata plus its size-capped body. Only 429s are retried:
+// other failures — including 5xx — are the caller's to interpret.
+func (c *remoteClient) do(method, path string, payload []byte, deadline time.Duration) (*http.Response, []byte) {
+	for attempt := 0; ; attempt++ {
+		var body io.Reader
+		if payload != nil {
+			body = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequest(method, c.base+path, body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if deadline > 0 {
+			req.Header.Set("X-Deadline", deadline.String())
+		}
+		if c.tenant != "" {
+			req.Header.Set("X-Tenant", c.tenant)
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reply, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= c.maxRetries {
+			return resp, reply
+		}
+		wait := c.backoff(resp.Header.Get("Retry-After"), attempt)
+		log.Printf("daemon shedding (429): %s — retrying in %s (%d/%d)",
+			strings.TrimSpace(string(reply)), wait.Round(time.Millisecond), attempt+1, c.maxRetries)
+		time.Sleep(wait)
+	}
+}
+
+// backoff converts a Retry-After header into a sleep. The server's hint wins
+// when present (quota refill times are tenant-specific); otherwise the delay
+// grows exponentially from 500ms. Both are capped at 30s and stretched by up
+// to 50% jitter so concurrent shed clients do not retry in lockstep.
+func (c *remoteClient) backoff(retryAfter string, attempt int) time.Duration {
+	wait := 500 * time.Millisecond << min(attempt, 10)
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		wait = time.Duration(secs) * time.Second
+	}
+	if wait > 30*time.Second {
+		wait = 30 * time.Second
+	}
+	return wait + time.Duration(c.rng.Int63n(int64(wait)/2+1))
+}
+
+// planRemote posts the matrix file to a bootesd daemon and prints the reply,
+// either synchronously or (with -async) via the durable job queue.
+func planRemote(server, in string, timeout time.Duration, strict, async bool, tenant string, maxRetries int) {
+	payload, err := os.ReadFile(in)
 	if err != nil {
 		log.Fatal(err)
-	}
-	defer f.Close()
-	req, err := http.NewRequest(http.MethodPost, strings.TrimRight(server, "/")+"/v1/plan", f)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if timeout > 0 {
-		req.Header.Set("X-Deadline", timeout.String())
 	}
 	client := &http.Client{}
 	if timeout > 0 {
 		// Leave headroom over the planning deadline for transfer time.
 		client.Timeout = timeout + 30*time.Second
 	}
-	resp, err := client.Do(req)
-	if err != nil {
-		log.Fatal(err)
+	c := &remoteClient{
+		base:       strings.TrimRight(server, "/"),
+		client:     client,
+		tenant:     tenant,
+		maxRetries: max(maxRetries, 0),
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
-		log.Fatal(err)
+	if async {
+		planRemoteAsync(c, payload, timeout, strict)
+		return
 	}
+	resp, body := c.do(http.MethodPost, "/v1/plan", payload, timeout)
 	if resp.StatusCode != http.StatusOK {
 		log.Fatalf("%s: %s: %s", server, resp.Status, strings.TrimSpace(string(body)))
 	}
-	var pr struct {
-		Key               string  `json:"key"`
-		Reordered         bool    `json:"reordered"`
-		K                 int     `json:"k"`
-		Degraded          bool    `json:"degraded"`
-		DegradedReason    string  `json:"degradedReason"`
-		PreprocessSeconds float64 `json:"preprocessSeconds"`
-		Cached            bool    `json:"cached"`
-		Coalesced         bool    `json:"coalesced"`
-		Breaker           string  `json:"breaker"`
-	}
+	var pr remotePlan
 	if err := json.Unmarshal(body, &pr); err != nil {
 		log.Fatalf("decoding daemon response: %v", err)
 	}
@@ -536,8 +618,80 @@ func planRemote(server, in string, timeout time.Duration, strict bool) {
 	case pr.Breaker == "open":
 		source = "breaker fast-path"
 	}
+	printRemotePlan(&pr, source)
+	warnDegraded(pr.Degraded, pr.DegradedReason, strict)
+}
+
+// planRemoteAsync enqueues the matrix on the daemon's durable queue and polls
+// the job until it reaches a terminal state. A job observed as failed is not
+// fatal — the queue retries it with backoff — only dead (retries exhausted)
+// ends the wait early.
+func planRemoteAsync(c *remoteClient, payload []byte, timeout time.Duration, strict bool) {
+	resp, body := c.do(http.MethodPost, "/v1/plan?async=1", payload, timeout)
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("%s: %s: %s", c.base, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var jb remoteJob
+	if err := json.Unmarshal(body, &jb); err != nil {
+		log.Fatalf("decoding job handle: %v", err)
+	}
+	if jb.Deduped {
+		log.Printf("joined existing job %s (state %s)", jb.JobID, jb.State)
+	} else {
+		log.Printf("submitted job %s", jb.JobID)
+	}
+
+	// Poll budget: the planning deadline bounds one attempt, not time spent
+	// queued behind other tenants, so the wait allows for retries and queueing
+	// on top of the plan's own clock.
+	budget := 15 * time.Minute
+	if timeout > 0 {
+		budget = 3*timeout + time.Minute
+	}
+	deadline := time.Now().Add(budget)
+	interval := 200 * time.Millisecond
+	lastState := jb.State
+	for {
+		resp, body = c.do(http.MethodGet, "/v1/jobs/"+jb.JobID, nil, 0)
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("polling job %s: %s: %s", jb.JobID, resp.Status, strings.TrimSpace(string(body)))
+		}
+		if err := json.Unmarshal(body, &jb); err != nil {
+			log.Fatalf("decoding job %s: %v", jb.JobID, err)
+		}
+		if jb.State != lastState {
+			log.Printf("job %s: %s", jb.JobID, jb.State)
+			lastState = jb.State
+		}
+		switch jb.State {
+		case "done":
+			if jb.Plan == nil {
+				log.Fatalf("job %s done but carried no plan", jb.JobID)
+			}
+			source := "computed"
+			if jb.Plan.Cached {
+				source = "cache hit"
+			}
+			printRemotePlan(jb.Plan, fmt.Sprintf("%s, async, %d attempt(s)", source, jb.Attempts))
+			warnDegraded(jb.Plan.Degraded, jb.Plan.DegradedReason, strict)
+			return
+		case "dead":
+			log.Fatalf("job %s is dead after %d attempts: %s", jb.JobID, jb.Attempts, jb.Reason)
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("job %s still %s after %s; it keeps running server-side — poll %s/v1/jobs/%s",
+				jb.JobID, jb.State, budget, c.base, jb.JobID)
+		}
+		time.Sleep(interval)
+		if interval < 2*time.Second {
+			interval *= 2
+		}
+	}
+}
+
+// printRemotePlan prints the daemon-reported plan summary.
+func printRemotePlan(pr *remotePlan, source string) {
 	fmt.Printf("key:       %s\n", pr.Key)
 	fmt.Printf("plan:      reordered=%v k=%d (%s, %.3fs)\n",
 		pr.Reordered, pr.K, source, pr.PreprocessSeconds)
-	warnDegraded(pr.Degraded, pr.DegradedReason, strict)
 }

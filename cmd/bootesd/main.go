@@ -7,6 +7,8 @@
 // Endpoints:
 //
 //	POST /v1/plan[?perm=1][&path=/srv/m.mtx]   plan an uploaded (or local) matrix
+//	POST /v1/plan?async=1                      enqueue for async planning (202 + job id)
+//	GET  /v1/jobs/{id}                         poll an async job
 //	GET  /healthz                              liveness
 //	GET  /readyz                               admission (503 while draining)
 //	GET  /statsz                               serving + cache + breaker counters
@@ -34,6 +36,7 @@ import (
 	"bootes"
 	"bootes/internal/obs"
 	"bootes/internal/plancache"
+	"bootes/internal/planqueue"
 	"bootes/internal/planserve"
 	"bootes/internal/reorder"
 	"bootes/internal/sparse"
@@ -55,13 +58,20 @@ func main() {
 	breakerFails := flag.Int("breaker-failures", 5, "consecutive hard-degraded plans that trip the breaker (0 disables)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 15*time.Second, "breaker open duration before a half-open probe")
 	allowPath := flag.Bool("allow-path", false, "allow ?path= requests reading matrices from this host's filesystem")
-	maxUpload := flag.Int64("max-upload", 256<<20, "maximum matrix upload size in bytes")
+	maxUpload := flag.Int64("max-upload-bytes", 256<<20, "maximum matrix upload size in bytes; oversized uploads get 413 before buffering")
+	flag.Int64Var(maxUpload, "max-upload", 256<<20, "alias of -max-upload-bytes")
 	uploadTimeout := flag.Duration("upload-timeout", 30*time.Second, "maximum time for a request to deliver its matrix body (negative disables)")
 	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "maximum time to read a request's headers")
 	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "maximum time to read an entire request")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle timeout")
 	pprofOn := flag.Bool("pprof", false, "serve runtime profiles on /debug/pprof/ (CPU, heap, goroutine, ...)")
 	similarity := flag.String("similarity", "auto", "similarity tier: auto, exact, bitset, approx, or implicit")
+	queueDir := flag.String("queue-dir", "", "durable async job queue directory (empty disables ?async=1; requires -cache)")
+	queueWorkers := flag.Int("queue-workers", 0, "async queue worker pool size (default max-inflight)")
+	queueMax := flag.Int("queue-max", 1024, "async jobs queued before submissions shed")
+	queueMaxTenant := flag.Int("queue-max-tenant", 0, "async jobs one tenant may have queued (default queue-max/4)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant request quota in requests/second (0 disables)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant quota burst capacity (default ceil(tenant-rate))")
 	flag.Parse()
 
 	simMode, err := bootes.ParseSimilarityMode(*similarity)
@@ -90,9 +100,43 @@ func main() {
 		log.Printf("plan cache %s: %d entries loaded, %d quarantined", *cacheDir, st.Entries, st.Quarantined)
 	}
 
+	// The async queue shares the sync path's pipeline and plan cache, and its
+	// worker pool defaults to the admission width: background planning can
+	// never out-parallelize what the operator allowed for foreground work.
+	var queue *planqueue.Queue
+	if *queueDir != "" {
+		if cache == nil {
+			log.Fatal("-queue-dir requires -cache: async jobs complete into the plan cache")
+		}
+		workers := *queueWorkers
+		if workers <= 0 {
+			workers = *maxInFlight
+		}
+		queue, err = planqueue.Open(planqueue.Config{
+			Dir:                *queueDir,
+			Run:                planqueue.RunFunc(planFunc(model, *seed, simMode)),
+			Cache:              cache,
+			Workers:            workers,
+			MaxQueued:          *queueMax,
+			MaxQueuedPerTenant: *queueMaxTenant,
+			Metrics:            obs.Default(),
+			Seed:               *seed,
+			Logf:               log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("opening async queue: %v", err)
+		}
+		qs := queue.Stats()
+		log.Printf("async queue %s: %d jobs recovered to queued, %d torn journal tails truncated",
+			*queueDir, qs.Recovered, qs.TornTails)
+		queue.Start()
+	}
+
 	srv, err := planserve.New(planserve.Config{
 		Plan:            planFunc(model, *seed, simMode),
 		Cache:           cache,
+		Queue:           queue,
+		Tenants:         planserve.TenantConfig{Rate: *tenantRate, Burst: *tenantBurst},
 		MaxInFlight:     *maxInFlight,
 		MaxQueue:        *maxQueue,
 		DefaultDeadline: *deadline,
@@ -162,6 +206,15 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("drain incomplete: %v", err)
+	}
+	// The queue drains after the HTTP layer: no new submissions can arrive,
+	// workers finish their current job, and the shutdown checkpoint compacts
+	// the journal so the next start replays a minimal file. Jobs still queued
+	// stay journaled and resume on restart.
+	if queue != nil {
+		if err := queue.Stop(ctx); err != nil {
+			log.Printf("queue drain incomplete: %v", err)
+		}
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("http shutdown: %v", err)

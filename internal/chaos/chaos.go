@@ -1,7 +1,8 @@
 // Package chaos is the deterministic fault-injection harness for the Bootes
 // serving stack. A Run executes N seeded episodes, each of which picks a
 // scenario (direct planning, HTTP serving, cache byte corruption, mid-write
-// crashes), arms a randomized-but-reproducible subset of the faultinject
+// crashes, durable-queue crash recovery, tenant quota storms), arms a
+// randomized-but-reproducible subset of the faultinject
 // registry, drives the real pipeline end to end, and then asserts the global
 // invariants the rest of the codebase promises:
 //
@@ -392,6 +393,8 @@ var scenarios = []scenario{
 	{"serve-http", true, scenarioServeHTTP},
 	{"cache-bitflip", false, scenarioCacheBitFlip},
 	{"cache-crash", false, scenarioCacheCrash},
+	{"queue-crash", false, scenarioQueueCrash},
+	{"tenant-storm", false, scenarioTenantStorm},
 }
 
 // scenarioPlanDirect drives bootes.PlanContext (verification always on)

@@ -2,15 +2,21 @@ package chaos
 
 import (
 	"flag"
+	"fmt"
+	"math/rand"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"bootes/internal/faultinject"
+	"bootes/internal/leakcheck"
 	"bootes/internal/planverify"
 )
 
 var (
-	episodes = flag.Int("chaos.episodes", 120, "episodes for TestChaosEpisodes (make chaos raises this for the soak)")
-	seed     = flag.Int64("chaos.seed", 20250806, "chaos schedule seed")
+	episodes      = flag.Int("chaos.episodes", 120, "episodes for TestChaosEpisodes (make chaos raises this for the soak)")
+	seed          = flag.Int64("chaos.seed", 20250806, "chaos schedule seed")
+	queueEpisodes = flag.Int("chaos.queue-episodes", 500, "episodes for TestQueueCrashSoak")
 )
 
 // TestChaosEpisodes is the always-on short run: every `go test` executes the
@@ -53,6 +59,44 @@ func TestChaosEpisodes(t *testing.T) {
 	t.Logf("chaos: %d episodes, scenarios=%v faults=%v healthy=%d degraded=%d refused=%d quarantined=%d verify-violations=%d",
 		rep.Episodes, rep.Scenarios, rep.Faults, rep.Healthy, rep.DegradedPlans,
 		rep.Refused, rep.Quarantined, planverify.Total())
+}
+
+// TestQueueCrashSoak hammers the queue-crash scenario alone: hundreds of
+// seeded crash/restart cycles across both journal crash points, each asserting
+// exactly-once recovery of every acked job. The mixed schedule above visits
+// queue-crash ~1/7 of the time; durability bugs hide in rare interleavings,
+// so this scenario gets its own dense soak.
+func TestQueueCrashSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("queue-crash soak skipped in -short mode")
+	}
+	root := t.TempDir()
+	rep := &Report{Scenarios: make(map[string]int), Faults: make(map[string]int)}
+	faultinject.Reset()
+	defer faultinject.Reset()
+	snap := leakcheck.Take()
+	sc := scenario{name: "queue-crash", run: scenarioQueueCrash}
+	for i := 0; i < *queueEpisodes; i++ {
+		epSeed := *seed ^ (int64(i)+1)*0x5851F42D4C957F2D
+		ep := &episode{
+			index: i,
+			rng:   rand.New(rand.NewSource(epSeed)),
+			dir:   filepath.Join(root, fmt.Sprintf("q%05d", i)),
+			rep:   rep,
+		}
+		runGuarded(ep, sc)
+		faultinject.Reset()
+		ep.sweepCache()
+		rep.Episodes++
+		if len(rep.Violations) > 0 {
+			t.Fatalf("seed %d: episode %d broke an invariant:\n%s",
+				*seed, i, strings.Join(rep.Violations, "\n"))
+		}
+	}
+	if err := snap.Check(); err != nil {
+		t.Fatalf("goroutine leak after %d episodes: %v", rep.Episodes, err)
+	}
+	t.Logf("queue-crash soak: %d episodes, faults=%v", rep.Episodes, rep.Faults)
 }
 
 // TestChaosDeterministicSchedule: equal seeds make equal choices. The digest

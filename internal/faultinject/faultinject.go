@@ -58,6 +58,15 @@ const (
 	// (lsh.SparsifiedSimilarity) fail, driving the degradation ladder from
 	// the approximate rung down to the implicit-similarity rung.
 	LSHSparsifyFail = "lsh/sparsify-fail"
+
+	// JournalAppendWrite simulates a crash mid-append in the planqueue
+	// journal: a torn partial record is written to the file and the append
+	// fails. Recovery must truncate the torn tail, never replay it.
+	JournalAppendWrite = "planqueue/crash-append-write"
+	// JournalAppendFsync simulates a crash after a journal record's bytes are
+	// written but before fsync: the append fails, the record may or may not
+	// survive, and either outcome must be safe to replay.
+	JournalAppendFsync = "planqueue/crash-append-fsync"
 )
 
 // points enumerates every trigger point declared above, in declaration
@@ -75,6 +84,8 @@ var points = []string{
 	BreakerProbeFail,
 	PlanCorrupt,
 	LSHSparsifyFail,
+	JournalAppendWrite,
+	JournalAppendFsync,
 }
 
 // Points returns every declared injection point. The slice is a copy; the

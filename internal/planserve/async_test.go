@@ -1,0 +1,430 @@
+package planserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bootes/internal/plancache"
+	"bootes/internal/planqueue"
+	"bootes/internal/reorder"
+	"bootes/internal/sparse"
+)
+
+// newTestQueue builds a started planqueue over a stub pipeline for server
+// tests. The queue is killed at cleanup.
+func newTestQueue(t testing.TB, cache *plancache.Cache, run planqueue.RunFunc) *planqueue.Queue {
+	t.Helper()
+	if run == nil {
+		run = func(_ context.Context, m *sparse.CSR, _ int) (*reorder.Result, error) {
+			return healthyResult(m), nil
+		}
+	}
+	q, err := planqueue.Open(planqueue.Config{
+		Dir:          t.TempDir(),
+		Run:          run,
+		Cache:        cache,
+		Workers:      1,
+		RetryBackoff: time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(q.Kill)
+	q.Start()
+	return q
+}
+
+func doPlan(t testing.TB, url, query string, body []byte, hdr map[string]string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/plan"+query, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp, string(b)
+}
+
+func getJob(t testing.TB, url, id string) (*http.Response, JobResponse) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jr JobResponse
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &jr); err != nil {
+			t.Fatalf("decoding job response %q: %v", body, err)
+		}
+	}
+	return resp, jr
+}
+
+func TestAsyncSubmitAndPoll(t *testing.T) {
+	cache, err := plancache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := newTestQueue(t, cache, nil)
+	p := &countingPlanner{}
+	_, ts := newTestServer(t, Config{Plan: p.fn(), Cache: cache, Queue: q})
+
+	resp, body := doPlan(t, ts.URL, "?async=1", mmBody(t, testMatrix(t, 1)), map[string]string{"X-Tenant": "acme"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit status %d: %s", resp.StatusCode, body)
+	}
+	var sub JobResponse
+	if err := json.Unmarshal([]byte(body), &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.JobID == "" || sub.State != "queued" || sub.Tenant != "acme" {
+		t.Fatalf("submission response %+v", sub)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+sub.JobID {
+		t.Fatalf("Location = %q", loc)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	var jr JobResponse
+	for {
+		var r *http.Response
+		r, jr = getJob(t, ts.URL, sub.JobID)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("job poll status %d", r.StatusCode)
+		}
+		if jr.State == "done" || jr.State == "dead" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", jr.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if jr.State != "done" || jr.Plan == nil {
+		t.Fatalf("finished job = %+v, want done with a plan", jr)
+	}
+	if !jr.Plan.Reordered || jr.Plan.K != 8 {
+		t.Fatalf("plan payload = %+v", jr.Plan)
+	}
+	if jr.Plan.Perm != nil {
+		t.Fatal("permutation included without ?perm=1")
+	}
+	// The same submission now dedupes... against the cache-completed plan via
+	// a fresh job that finishes instantly from cache.
+	resp2, body2 := doPlan(t, ts.URL, "?async=1", mmBody(t, testMatrix(t, 1)), nil)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmission status %d: %s", resp2.StatusCode, body2)
+	}
+}
+
+func TestAsyncWithoutQueueIs501(t *testing.T) {
+	p := &countingPlanner{}
+	_, ts := newTestServer(t, Config{Plan: p.fn()})
+	resp, _ := doPlan(t, ts.URL, "?async=1", mmBody(t, testMatrix(t, 2)), nil)
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("async submit without a queue = %d, want 501", resp.StatusCode)
+	}
+	if r, _ := getJob(t, ts.URL, "j-0000000001"); r.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("job poll without a queue = %d, want 501", r.StatusCode)
+	}
+}
+
+func TestJobNotFound(t *testing.T) {
+	q := newTestQueue(t, nil, nil)
+	p := &countingPlanner{}
+	_, ts := newTestServer(t, Config{Plan: p.fn(), Queue: q})
+	if r, _ := getJob(t, ts.URL, "j-9999999999"); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job poll = %d, want 404", r.StatusCode)
+	}
+}
+
+// TestAsyncBacklogRejection maps the queue's backlog bounds to 429 +
+// Retry-After on the submission path.
+func TestAsyncBacklogRejection(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	q, err := planqueue.Open(planqueue.Config{
+		Dir: t.TempDir(),
+		Run: func(ctx context.Context, m *sparse.CSR, _ int) (*reorder.Result, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return healthyResult(m), nil
+		},
+		Workers:            1,
+		MaxQueued:          2,
+		MaxQueuedPerTenant: 2,
+		Logf:               t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(q.Kill)
+	p := &countingPlanner{}
+	_, ts := newTestServer(t, Config{Plan: p.fn(), Queue: q})
+
+	for i := 0; i < 2; i++ {
+		resp, body := doPlan(t, ts.URL, "?async=1", mmBody(t, testMatrix(t, 10+int64(i))), nil)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submission %d status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, body := doPlan(t, ts.URL, "?async=1", mmBody(t, testMatrix(t, 12)), nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-backlog submission status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if !strings.Contains(body, "queue full") {
+		t.Fatalf("rejection body %q", body)
+	}
+}
+
+// TestTenantQuotaShedsWithRetryAfter drives a flooding tenant into its token
+// bucket's floor and checks the polite tenant is untouched — on the sync
+// path, before any body is read.
+func TestTenantQuotaShedsWithRetryAfter(t *testing.T) {
+	p := &countingPlanner{}
+	s, ts := newTestServer(t, Config{
+		Plan: p.fn(),
+		Tenants: TenantConfig{
+			Rate:  0.5, // 1 token per 2s: easy to exhaust deterministically
+			Burst: 2,
+		},
+	})
+	body := mmBody(t, testMatrix(t, 20))
+	flood := map[string]string{"X-Tenant": "flooder"}
+	for i := 0; i < 2; i++ {
+		resp, b := doPlan(t, ts.URL, "", body, flood)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("in-quota request %d = %d: %s", i, resp.StatusCode, b)
+		}
+	}
+	resp, b := doPlan(t, ts.URL, "", body, flood)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota request = %d: %s", resp.StatusCode, b)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatal("quota shed without Retry-After")
+	}
+	if !strings.Contains(b, `tenant "flooder"`) {
+		t.Fatalf("shed body %q does not name the tenant", b)
+	}
+	// Tenant-specific: the refill rate (0.5/s, 1 token owed) puts the wait
+	// near 2s — not the generic admission value of 1.
+	if ra == "1" {
+		t.Fatalf("Retry-After = %q, want the tenant bucket's own refill time", ra)
+	}
+	// Another tenant is not collateral damage.
+	if resp, b := doPlan(t, ts.URL, "", body, map[string]string{"X-Tenant": "polite"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant = %d: %s", resp.StatusCode, b)
+	}
+	if st := s.Stats(); st.TenantShed != 1 {
+		t.Fatalf("Stats.TenantShed = %d, want 1", st.TenantShed)
+	}
+	// The per-tenant shed counter carries the tenant label.
+	var sb strings.Builder
+	if err := s.reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `bootes_tenant_shed_total{tenant="flooder"} 1`) {
+		t.Fatalf("per-tenant shed metric missing:\n%s", sb.String())
+	}
+}
+
+func TestTenantQuotaOverrides(t *testing.T) {
+	p := &countingPlanner{}
+	_, ts := newTestServer(t, Config{
+		Plan: p.fn(),
+		Tenants: TenantConfig{
+			Rate: 0.01, Burst: 1,
+			Overrides: map[string]TenantLimit{"vip": {Rate: 1000, Burst: 100}},
+		},
+	})
+	body := mmBody(t, testMatrix(t, 21))
+	// ?tenant= works as the identity fallback when the header is absent.
+	for i := 0; i < 5; i++ {
+		if resp, b := doPlan(t, ts.URL, "?tenant=vip", body, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("vip request %d = %d: %s", i, resp.StatusCode, b)
+		}
+	}
+	if resp, _ := doPlan(t, ts.URL, "?tenant=bulk", body, nil); resp.StatusCode != http.StatusOK {
+		t.Fatal("first bulk request should pass on its burst token")
+	}
+	if resp, _ := doPlan(t, ts.URL, "?tenant=bulk", body, nil); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatal("second bulk request should exhaust the burst of 1")
+	}
+}
+
+// TestOversizedUploadIs413 is the -max-upload-bytes guard: a body over the
+// limit is refused with 413 (not 400) before the server buffers it.
+func TestOversizedUploadIs413(t *testing.T) {
+	p := &countingPlanner{}
+	_, ts := newTestServer(t, Config{Plan: p.fn(), MaxUploadBytes: 512})
+	big := mmBody(t, testMatrix(t, 22)) // 48×48 at 8% density ≫ 512 bytes
+	if len(big) <= 512 {
+		t.Fatalf("test body only %d bytes; raise the matrix size", len(big))
+	}
+	resp, body := doPlan(t, ts.URL, "", big, nil)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload = %d (%s), want 413", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "512") {
+		t.Fatalf("413 body %q does not state the limit", body)
+	}
+	if p.totalRuns() != 0 {
+		t.Fatal("pipeline ran on a rejected oversized upload")
+	}
+	// A body exactly at the limit parses normally (the guard is >, not ≥).
+	small := mmBody(t, testMatrix(t, 23))
+	_, ts2 := newTestServer(t, Config{Plan: p.fn(), MaxUploadBytes: int64(len(small))})
+	if resp, b := doPlan(t, ts2.URL, "", small, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("at-limit upload = %d: %s", resp.StatusCode, b)
+	}
+}
+
+// TestSingleflightFollowerCancelDetaches pins the follower-detach contract
+// (the satellite coverage for singleflight.go): a joined waiter whose context
+// is cancelled must return promptly with the context error, without
+// cancelling the leader's flight and without leaking an admission slot.
+func TestSingleflightFollowerCancelDetaches(t *testing.T) {
+	var g flightGroup
+	leaderGate := make(chan struct{})
+	leaderStarted := make(chan struct{})
+	res := &reorder.Result{Reordered: true}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var leaderRes *reorder.Result
+	var leaderShared bool
+	var leaderErr error
+	go func() {
+		defer wg.Done()
+		leaderRes, leaderShared, leaderErr = g.do(context.Background(), "k", func() (*reorder.Result, error) {
+			close(leaderStarted)
+			<-leaderGate
+			return res, nil
+		})
+	}()
+	<-leaderStarted
+
+	ctx, cancel := context.WithCancel(context.Background())
+	followerDone := make(chan error, 1)
+	go func() {
+		_, shared, err := g.do(ctx, "k", func() (*reorder.Result, error) {
+			t.Error("follower ran the function itself")
+			return nil, nil
+		})
+		if !shared {
+			t.Error("cancelled follower not marked shared")
+		}
+		followerDone <- err
+	}()
+	// Let the follower join, then abandon it mid-wait.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-followerDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("follower returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled follower never detached")
+	}
+
+	// The leader is unaffected: release it and it completes with its result.
+	close(leaderGate)
+	wg.Wait()
+	if leaderErr != nil || leaderShared || leaderRes != res {
+		t.Fatalf("leader = (%v, shared=%v, %v), want its own result", leaderRes, leaderShared, leaderErr)
+	}
+
+	// The key is free again: a new call becomes a leader, not a follower.
+	r2, shared, err := g.do(context.Background(), "k", func() (*reorder.Result, error) {
+		return res, nil
+	})
+	if err != nil || shared || r2 != res {
+		t.Fatalf("post-flight call = (%v, shared=%v, %v), want a fresh leader", r2, shared, err)
+	}
+}
+
+// TestSingleflightFollowerCancelUnderLoad runs the detach scenario through
+// the full server against a saturated admission semaphore, asserting no slot
+// leaks (race-clean under -race; leakcheck guards the slot invariant).
+func TestSingleflightFollowerCancelUnderLoad(t *testing.T) {
+	gate := make(chan struct{})
+	p := &countingPlanner{gate: gate}
+	s, ts := newTestServer(t, Config{Plan: p.fn(), MaxInFlight: 1})
+	body := mmBody(t, testMatrix(t, 24))
+
+	// Leader occupies the only slot.
+	leaderDone := make(chan int, 1)
+	go func() {
+		resp, _ := postPlan(t, ts.URL, body, "")
+		leaderDone <- resp.StatusCode
+	}()
+	waitForCondition(t, time.Second, func() bool { return s.SlotsInUse() == 1 })
+
+	// Followers join the same key with a short deadline and give up.
+	var fwg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		fwg.Add(1)
+		go func() {
+			defer fwg.Done()
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/plan", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+			defer cancel()
+			resp, err := http.DefaultClient.Do(req.WithContext(ctx))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	fwg.Wait()
+
+	// Leader still completes healthy after its followers abandoned it.
+	close(gate)
+	if code := <-leaderDone; code != http.StatusOK {
+		t.Fatalf("leader finished %d after followers detached, want 200", code)
+	}
+	waitForCondition(t, time.Second, func() bool { return s.SlotsInUse() == 0 })
+	if n := p.totalRuns(); n != 1 {
+		t.Fatalf("pipeline ran %d times, want 1 (followers must not re-run)", n)
+	}
+}
+
+func waitForCondition(t testing.TB, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

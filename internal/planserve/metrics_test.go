@@ -117,6 +117,9 @@ bootes_plan_stage_seconds_count{stage="similarity"} 1
 # HELP bootes_plans_total Planning pipeline calls by outcome.
 # TYPE bootes_plans_total counter
 bootes_plans_total{outcome="healthy"} 1
+# HELP bootes_serve_async_rejected_total Async submissions rejected by queue backlog bounds (429).
+# TYPE bootes_serve_async_rejected_total counter
+bootes_serve_async_rejected_total 0
 # HELP bootes_serve_breaker_short_circuits_total Requests answered by the breaker's identity fast-path.
 # TYPE bootes_serve_breaker_short_circuits_total counter
 bootes_serve_breaker_short_circuits_total 0
@@ -314,8 +317,11 @@ func TestStatszShapePinned(t *testing.T) {
 
 	wantKeys := []string{
 		"Served", "Shed", "Coalesced", "Degraded", "BreakerShortCircuits",
-		"Retries", "VerifyViolations", "InFlight", "Queued", "Draining",
+		"Retries", "VerifyViolations", "TenantShed", "AsyncRejected",
+		"InFlight", "Queued", "Draining",
 		"Breaker", "BreakerTrips", "Cache",
+		// "Queue" is omitempty and absent here: this server runs without an
+		// async queue, and the pin asserts exactly that.
 	}
 	if len(raw) != len(wantKeys) {
 		t.Errorf("statsz has %d keys, want %d: %v", len(raw), len(wantKeys), keysOf(raw))

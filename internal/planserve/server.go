@@ -20,12 +20,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net/http"
 	"os"
 	"path/filepath"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +33,7 @@ import (
 	"bootes/internal/faultinject"
 	"bootes/internal/obs"
 	"bootes/internal/plancache"
+	"bootes/internal/planqueue"
 	"bootes/internal/planverify"
 	"bootes/internal/reorder"
 	"bootes/internal/sparse"
@@ -49,6 +50,15 @@ type Config struct {
 	Plan PlanFunc
 	// Cache is the persistent plan cache; nil disables caching.
 	Cache *plancache.Cache
+	// Queue is the durable async plan queue behind POST /v1/plan?async=1 and
+	// GET /v1/jobs/{id}; nil answers async submissions with 501. The queue's
+	// lifecycle (Open/Start/Stop) belongs to the caller — cmd/bootesd drains
+	// it alongside the HTTP server.
+	Queue *planqueue.Queue
+	// Tenants is the per-tenant traffic-shaping policy (token-bucket quotas,
+	// identified by X-Tenant or ?tenant=). A zero Rate with no Overrides
+	// disables quota enforcement.
+	Tenants TenantConfig
 	// MaxInFlight bounds concurrently executing pipelines (default 4).
 	MaxInFlight int
 	// MaxQueue bounds requests waiting for an in-flight slot; beyond it
@@ -105,6 +115,10 @@ type Stats struct {
 	// server (corrupt cached entries treated as misses, pipeline plans
 	// replaced by identity). Any non-zero value is worth an operator's look.
 	VerifyViolations int64
+	// TenantShed counts requests rejected by per-tenant quotas (sync and
+	// async alike); AsyncRejected counts async submissions refused by queue
+	// backlog bounds.
+	TenantShed, AsyncRejected int64
 	// InFlight / Queued are instantaneous gauges.
 	InFlight, Queued int64
 	// Draining reports shutdown in progress.
@@ -115,6 +129,8 @@ type Stats struct {
 	BreakerTrips int64
 	// Cache is the plan cache's own counters (zero when caching is off).
 	Cache plancache.Stats
+	// Queue is the async queue's counters (nil when async is off).
+	Queue *planqueue.Stats `json:",omitempty"`
 }
 
 // Server serves planning requests over HTTP. Create with New, expose with
@@ -125,6 +141,10 @@ type Server struct {
 	breaker *breaker
 	flights flightGroup
 	mux     *http.ServeMux
+	limiter *tenantLimiter
+	// optKey fingerprints this server's plan options for the queue's dedupe
+	// key; one bootesd runs one pipeline configuration, so it is constant.
+	optKey string
 
 	jitterMu sync.Mutex
 	jitter   *rand.Rand
@@ -136,7 +156,7 @@ type Server struct {
 	// Stats() and /statsz read the same instruments /metrics exposes.
 	reg                                                      *obs.Registry
 	served, shed, coalesced, degraded, retries, breakerShort *obs.Counter
-	verifyBad                                                *obs.Counter
+	verifyBad, asyncRejected                                 *obs.Counter
 	running, queued                                          *obs.Gauge
 }
 
@@ -182,8 +202,10 @@ func New(cfg Config) (*Server, error) {
 		jitter:  rand.New(rand.NewSource(seed)),
 	}
 	s.registerMetrics(cfg.Metrics)
+	s.limiter = newTenantLimiter(cfg.Tenants, cfg.Now, s.reg)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
@@ -207,6 +229,7 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 	s.retries = reg.Counter("bootes_serve_retries_total", "Serve-level pipeline re-runs of transiently degraded plans.")
 	s.breakerShort = reg.Counter("bootes_serve_breaker_short_circuits_total", "Requests answered by the breaker's identity fast-path.")
 	s.verifyBad = reg.Counter("bootes_serve_verify_violations_total", "Plan-verification violations observed by this server.")
+	s.asyncRejected = reg.Counter("bootes_serve_async_rejected_total", "Async submissions rejected by queue backlog bounds (429).")
 	s.running = reg.Gauge("bootes_serve_inflight", "Pipelines currently executing.")
 	s.queued = reg.Gauge("bootes_serve_queued", "Requests waiting for an in-flight slot.")
 	reg.CounterFunc("bootes_serve_breaker_trips_total", "Circuit breaker closed-to-open transitions.", func() int64 {
@@ -279,8 +302,16 @@ func (s *Server) Stats() Stats {
 		Breaker:              state.String(),
 		BreakerTrips:         trips,
 	}
+	st.AsyncRejected = s.asyncRejected.Value()
+	if s.limiter != nil {
+		st.TenantShed = s.limiter.shedTotal.Value()
+	}
 	if s.cfg.Cache != nil {
 		st.Cache = s.cfg.Cache.Stats()
+	}
+	if s.cfg.Queue != nil {
+		qs := s.cfg.Queue.Stats()
+		st.Queue = &qs
 	}
 	return st
 }
@@ -344,6 +375,17 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "shutting down", http.StatusServiceUnavailable)
 		return
 	}
+	// Tenant quota: identity lives in the envelope (X-Tenant / ?tenant=), so
+	// an over-quota request is shed before a single body byte is buffered.
+	tenant := tenantOf(r)
+	if s.limiter != nil {
+		if ok, wait := s.limiter.allow(tenant); !ok {
+			s.limiter.recordShed(tenant)
+			w.Header().Set("Retry-After", retryAfterHeader(wait))
+			http.Error(w, fmt.Sprintf("tenant %q over request quota", tenant), http.StatusTooManyRequests)
+			return
+		}
+	}
 	if d := s.cfg.UploadReadTimeout; d > 0 {
 		// Slowloris guard: the whole body must arrive within d. Best-effort —
 		// recorders and exotic transports lack deadline support, and a failure
@@ -352,7 +394,19 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	m, err := s.readMatrix(r)
 	if err != nil {
+		// An upload over MaxUploadBytes is the client's payload, not its
+		// syntax: 413 with the limit, cut off before the server buffers it.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("matrix body exceeds the %d-byte upload limit", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if isAsync(r) {
+		s.handleAsyncSubmit(w, r, m, tenant)
 		return
 	}
 	deadline, err := requestDeadline(r, s.cfg.DefaultDeadline)
@@ -546,19 +600,12 @@ func (s *Server) planWithRetry(ctx context.Context, m *sparse.CSR) (*reorder.Res
 	}
 }
 
-// transientDegradation classifies a DegradedReason trail as retryable: the
-// ladder's transient rung failures (eigensolver non-convergence, contained
-// panics, stalled workers) may succeed on a re-run with a different seed,
-// whereas budget and memory degradations are deterministic for the same
-// request. The substrings match the reason strings core/degrade.go emits.
+// transientDegradation classifies a DegradedReason trail as retryable. The
+// classification itself lives in planverify (TransientReason) so the async
+// plan queue's bounded retries agree with the sync path about which
+// degradations are worth a re-run.
 func transientDegradation(reason string) bool {
-	return strings.Contains(reason, "did not converge") ||
-		strings.Contains(reason, "contained panic") ||
-		strings.Contains(reason, "worker") ||
-		// planverify replacements: corruption is transient (a recomputation
-		// may come back clean); "traffic regression predicted" deliberately
-		// does NOT match — the model is deterministic for the same matrix.
-		strings.Contains(reason, "plan verification failed")
+	return planverify.TransientReason(reason)
 }
 
 // hardDegraded reports a plan the breaker should count as a failure: it
@@ -610,14 +657,42 @@ func (s *Server) readMatrix(r *http.Request) (*sparse.CSR, error) {
 		}
 		return sparse.ReadMatrixMarket(f)
 	}
-	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxUploadBytes)
+	// The limit guard wraps stdlib MaxBytesReader but remembers the breach on
+	// the reader itself: a parser fed a truncated-at-limit body usually fails
+	// on its own syntax error first (the cut looks like bad input), which
+	// would mask the MaxBytesError and misreport an oversized upload as 400.
+	body := &breachTracker{r: http.MaxBytesReader(nil, r.Body, s.cfg.MaxUploadBytes)}
 	br := newSniffReader(body)
-	isBinary, err := br.hasPrefix("BCSR")
+	m, err := func() (*sparse.CSR, error) {
+		isBinary, err := br.hasPrefix("BCSR")
+		if err != nil {
+			return nil, fmt.Errorf("reading matrix body: %w", err)
+		}
+		if isBinary {
+			return sparse.ReadBinary(br)
+		}
+		return sparse.ReadMatrixMarket(br)
+	}()
+	if err != nil && body.breached {
+		return nil, &http.MaxBytesError{Limit: s.cfg.MaxUploadBytes}
+	}
+	return m, err
+}
+
+// breachTracker records whether the wrapped MaxBytesReader ever refused a
+// read, surviving parsers that swallow the error's type.
+type breachTracker struct {
+	r        io.Reader
+	breached bool
+}
+
+func (b *breachTracker) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
 	if err != nil {
-		return nil, fmt.Errorf("reading matrix body: %w", err)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			b.breached = true
+		}
 	}
-	if isBinary {
-		return sparse.ReadBinary(br)
-	}
-	return sparse.ReadMatrixMarket(br)
+	return n, err
 }

@@ -1,0 +1,183 @@
+package planserve
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"bootes/internal/obs"
+)
+
+// TenantLimit is one tenant's token-bucket quota.
+type TenantLimit struct {
+	// Rate is the sustained request rate in tokens per second.
+	Rate float64
+	// Burst is the bucket capacity (default max(1, ceil(Rate))).
+	Burst int
+}
+
+// TenantConfig is the per-tenant traffic-shaping policy. A zero Rate disables
+// quota enforcement entirely (every tenant is admitted); the queue's
+// weighted-fair dequeue and backlog bounds still apply to async jobs.
+type TenantConfig struct {
+	// Rate/Burst are the default quota applied to every tenant without an
+	// override.
+	Rate  float64
+	Burst int
+	// Overrides replaces the default quota for specific tenants.
+	Overrides map[string]TenantLimit
+}
+
+// tenantShedLabelCap bounds the label cardinality of
+// bootes_tenant_shed_total: the first tenantShedLabelCap distinct tenants get
+// their own label, the rest aggregate under "_other" — a flood of unique
+// tenant names must not grow the metrics payload without bound.
+const tenantShedLabelCap = 32
+
+// maxTenantBuckets bounds the limiter's memory: beyond it, a full (idle)
+// bucket is evicted to make room — a full bucket re-created later admits the
+// same burst, so eviction never penalizes a tenant.
+const maxTenantBuckets = 4096
+
+// tenantBucket is one tenant's token bucket.
+type tenantBucket struct {
+	tokens float64
+	last   time.Time
+	limit  TenantLimit
+}
+
+// tenantLimiter enforces TenantConfig over all tenants. All methods are
+// concurrency-safe.
+type tenantLimiter struct {
+	cfg TenantConfig
+	now func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*tenantBucket
+
+	shed       *obs.CounterVec
+	shedLabels map[string]string // tenant → label actually used (cardinality cap)
+	shedTotal  *obs.Counter
+}
+
+// newTenantLimiter builds a limiter; returns nil when quotas are disabled.
+func newTenantLimiter(cfg TenantConfig, now func() time.Time, reg *obs.Registry) *tenantLimiter {
+	if cfg.Rate <= 0 && len(cfg.Overrides) == 0 {
+		return nil
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &tenantLimiter{
+		cfg:        cfg,
+		now:        now,
+		buckets:    make(map[string]*tenantBucket),
+		shed:       reg.CounterVec("bootes_tenant_shed_total", "Requests shed by per-tenant quota, by tenant (high-cardinality tenants aggregate under \"_other\").", "tenant"),
+		shedLabels: make(map[string]string),
+		shedTotal:  reg.Counter("bootes_tenant_shed_all_total", "Requests shed by per-tenant quota, all tenants."),
+	}
+}
+
+// limitFor resolves the quota applied to tenant.
+func (l *tenantLimiter) limitFor(tenant string) TenantLimit {
+	lim, ok := l.cfg.Overrides[tenant]
+	if !ok {
+		lim = TenantLimit{Rate: l.cfg.Rate, Burst: l.cfg.Burst}
+	}
+	if lim.Burst <= 0 {
+		lim.Burst = int(math.Max(1, math.Ceil(lim.Rate)))
+	}
+	return lim
+}
+
+// allow takes one token from tenant's bucket. When the bucket is empty it
+// reports the wait until the next token accrues — the value the handler
+// returns as Retry-After (whole seconds, rounded up, at least 1).
+func (l *tenantLimiter) allow(tenant string) (ok bool, retryAfter time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, exists := l.buckets[tenant]
+	if !exists {
+		lim := l.limitFor(tenant)
+		b = &tenantBucket{tokens: float64(lim.Burst), last: now, limit: lim}
+		if len(l.buckets) >= maxTenantBuckets {
+			l.evictFullBucketLocked()
+		}
+		l.buckets[tenant] = b
+	}
+	if b.limit.Rate > 0 {
+		b.tokens = math.Min(float64(b.limit.Burst), b.tokens+now.Sub(b.last).Seconds()*b.limit.Rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if b.limit.Rate <= 0 {
+		// No refill: a pure burst budget (tests, hard-capped tenants). The
+		// client can only retry after operator action; answer a long hold.
+		return false, time.Minute
+	}
+	return false, time.Duration((1 - b.tokens) / b.limit.Rate * float64(time.Second))
+}
+
+// recordShed counts a quota rejection for tenant on both the per-tenant
+// vector (cardinality-capped) and the scalar total.
+func (l *tenantLimiter) recordShed(tenant string) {
+	l.shedTotal.Inc()
+	l.mu.Lock()
+	label, ok := l.shedLabels[tenant]
+	if !ok {
+		label = tenant
+		if len(l.shedLabels) >= tenantShedLabelCap {
+			label = "_other"
+		}
+		l.shedLabels[tenant] = label
+	}
+	l.mu.Unlock()
+	l.shed.With(label).Inc()
+}
+
+// evictFullBucketLocked drops one bucket that is at full capacity (idle long
+// enough to have refilled); if none qualifies, an arbitrary one goes — the
+// map must stay bounded even under adversarial tenant-name churn.
+func (l *tenantLimiter) evictFullBucketLocked() {
+	var fallback string
+	for name, b := range l.buckets {
+		if b.tokens >= float64(b.limit.Burst) {
+			delete(l.buckets, name)
+			return
+		}
+		fallback = name
+	}
+	if fallback != "" {
+		delete(l.buckets, fallback)
+	}
+}
+
+// retryAfterHeader renders a Retry-After value: whole seconds, rounded up,
+// never below 1.
+func retryAfterHeader(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+// tenantOf extracts the request's tenant identity: the X-Tenant header,
+// falling back to ?tenant=, falling back to "default". Identity lives in the
+// envelope, not the body, so quota decisions happen before any body bytes
+// are read or buffered.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		return t
+	}
+	return "default"
+}

@@ -13,6 +13,7 @@ import "fmt"
 // Queue is an indexed binary max-heap over items 0..n-1.
 type Queue struct {
 	n    int
+	min  bool    // min-heap ordering (NewMin); smallest priority pops first
 	heap []int32 // heap[h] = item at heap position h
 	pos  []int32 // pos[item] = heap position, or -1 if absent
 	pri  []int64 // pri[item] = current priority
@@ -25,6 +26,27 @@ func New(n int) *Queue {
 		q.pos[i] = -1
 	}
 	return q
+}
+
+// NewMin returns an empty min-queue able to hold items 0..n-1: Pop and Peek
+// return the item with the *smallest* priority (ties still break toward the
+// smaller index). The weighted-fair scheduler in internal/planqueue uses this
+// ordering to pop the tenant with the earliest virtual finish time.
+func NewMin(n int) *Queue {
+	q := New(n)
+	q.min = true
+	return q
+}
+
+// Grow extends the queue's key space to n items, keeping everything queued.
+// Shrinking is not supported; a smaller n is a no-op. The planqueue scheduler
+// uses this when a new tenant appears at runtime.
+func (q *Queue) Grow(n int) {
+	for q.n < n {
+		q.pos = append(q.pos, -1)
+		q.pri = append(q.pri, 0)
+		q.n++
+	}
 }
 
 // Len returns the number of items currently in the queue.
@@ -82,11 +104,24 @@ func (q *Queue) AddKey(item int, delta int64) {
 	}
 	q.pri[item] += delta
 	h := int(q.pos[item])
-	if delta > 0 {
+	// A raised priority moves toward the top of a max-heap but toward the
+	// bottom of a min-heap, and vice versa.
+	if (delta > 0) != q.min {
 		q.up(h)
 	} else {
 		q.down(h)
 	}
+}
+
+// Set replaces item's priority with an absolute value, reheapifying in
+// either direction. No-op if absent.
+func (q *Queue) Set(item int, priority int64) {
+	if item < 0 || item >= q.n || q.pos[item] < 0 {
+		return
+	}
+	q.pri[item] = priority
+	q.up(int(q.pos[item]))
+	q.down(int(q.pos[item]))
 }
 
 // Pop removes and returns the item with the highest priority (smallest index
@@ -108,10 +143,14 @@ func (q *Queue) Peek() (item int, ok bool) {
 	return int(q.heap[0]), true
 }
 
-// less orders heap positions: higher priority first, then lower index.
+// less orders heap positions: higher priority first (lower first for a
+// NewMin queue), then lower index.
 func (q *Queue) less(a, b int) bool {
 	ia, ib := q.heap[a], q.heap[b]
 	if q.pri[ia] != q.pri[ib] {
+		if q.min {
+			return q.pri[ia] < q.pri[ib]
+		}
 		return q.pri[ia] > q.pri[ib]
 	}
 	return ia < ib

@@ -74,6 +74,17 @@ func FuzzReadBinary(f *testing.F) {
 		1, // hasVal
 	}...)
 	f.Add(hostile)
+	// Truncated-at-limit bodies: a valid encoding cut off exactly where an
+	// upload guard (http.MaxBytesReader) would stop reading — once inside the
+	// row-pointer block, once inside the value block. The parser sees a clean
+	// prefix with no corruption marker and must fail on the missing bytes,
+	// never hang or accept a partial matrix.
+	var whole bytes.Buffer
+	if err := WriteBinary(&whole, Identity(64, true)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(whole.Bytes()[:512])
+	f.Add(whole.Bytes()[:whole.Len()-64])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := ReadBinary(bytes.NewReader(data))
 		if err != nil {
