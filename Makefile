@@ -12,16 +12,22 @@
 #   make race-serve — focused race pass over the serving layer: the plan
 #                  cache's concurrent put/get paths, planserve's
 #                  coalescing/admission/breaker storms, the durable async
-#                  queue's worker/crash paths, and the metrics registry's
-#                  concurrent instrument updates
+#                  queue's worker/crash paths, the metrics registry's
+#                  concurrent instrument updates, the consistent-hash ring,
+#                  and the fleet router's forward/hedge/probe paths
 #   make fuzz    — short fuzzing smoke over the sparse-format parsers, the
 #                  CSR constructor, and the plan-cache entry decoder (the
 #                  hostile-input hardening targets)
 #   make chaos   — the long chaos soak: CHAOS_EPISODES (default 2000) seeded
 #                  end-to-end episodes through plan→cache→serve→queue with
-#                  faults armed (including queue-crash and tenant-storm),
-#                  asserting the global invariants after each, plus the dense
-#                  QUEUE_EPISODES (default 2000) queue-crash-only soak
+#                  faults armed (including queue-crash, tenant-storm, and
+#                  fleet-partition), asserting the global invariants after
+#                  each, plus the dense QUEUE_EPISODES (default 2000)
+#                  queue-crash-only soak and the FLEET_EPISODES (default 200)
+#                  fleet-partition-only kill/restart soak
+#   make soak    — cmd/loadgen against a spawned 3-node in-process fleet:
+#                  SOAK_DURATION of SOAK_QPS traffic, then latency/shed SLOs
+#                  asserted from the fleet's own /metrics
 #   make bench-queue — the durable-queue benchmark behind BENCH_queue.json
 #                  (enqueue/drain throughput, journal replay at 10k jobs)
 #   make bench   — the parallel-layer benchmarks behind BENCH_parallel.json
@@ -35,10 +41,13 @@ FUZZTIME ?= 10s
 CHAOS_EPISODES ?= 2000
 CHAOS_SEED ?= 20250806
 QUEUE_EPISODES ?= 2000
+FLEET_EPISODES ?= 200
+SOAK_DURATION ?= 30s
+SOAK_QPS ?= 100
 
 OBS_COVER_FLOOR ?= 60.0
 
-.PHONY: check vet build test cover race race-serve fuzz fuzz-seeds chaos chaos-short bench bench-matrix bench-queue report
+.PHONY: check vet build test cover race race-serve fuzz fuzz-seeds chaos chaos-short soak bench bench-matrix bench-queue report
 
 check: vet build test fuzz-seeds chaos-short cover
 
@@ -71,7 +80,8 @@ race:
 
 race-serve:
 	GOMAXPROCS=4 $(GO) test -race -count=2 -timeout 10m \
-		./internal/plancache/... ./internal/planserve/ ./internal/planqueue/ ./internal/obs/
+		./internal/plancache/... ./internal/planserve/ ./internal/planqueue/ ./internal/obs/ \
+		./internal/ring/ ./internal/fleet/
 
 # Seed-corpus-only pass: every fuzz target replays its checked-in corpus as
 # plain tests (no mutation engine), so check catches corpus regressions fast.
@@ -87,9 +97,16 @@ chaos-short:
 # tenant-storm scenarios) plus the dense queue-crash-only crash/restart soak.
 # Reproduce a red run with: make chaos CHAOS_SEED=<seed>.
 chaos:
-	$(GO) test ./internal/chaos/ -run 'TestChaosEpisodes|TestQueueCrashSoak' -count=1 -v -timeout 60m \
+	$(GO) test ./internal/chaos/ -run 'TestChaosEpisodes|TestQueueCrashSoak|TestFleetPartitionSoak' -count=1 -v -timeout 60m \
 		-chaos.episodes=$(CHAOS_EPISODES) -chaos.seed=$(CHAOS_SEED) \
-		-chaos.queue-episodes=$(QUEUE_EPISODES)
+		-chaos.queue-episodes=$(QUEUE_EPISODES) -chaos.fleet-episodes=$(FLEET_EPISODES)
+
+# Fleet soak: spawn a 3-node in-process fleet, drive it at SOAK_QPS for
+# SOAK_DURATION, and fail on a latency/shed SLO breach measured from the
+# fleet's own /metrics. Point it at a real fleet with: go run ./cmd/loadgen
+# -peers http://a:8080,http://b:8080 ...
+soak:
+	$(GO) run ./cmd/loadgen -spawn 3 -duration $(SOAK_DURATION) -qps $(SOAK_QPS) -misroute
 
 # go accepts one -fuzz pattern per invocation, so each target gets its own.
 fuzz:

@@ -29,8 +29,10 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"bootes"
@@ -39,6 +41,7 @@ import (
 	"bootes/internal/obs"
 	"bootes/internal/plancache/atomicio"
 	"bootes/internal/reorder"
+	"bootes/internal/ring"
 	"bootes/internal/sparse"
 	"bootes/internal/spy"
 	"bootes/internal/trafficmodel"
@@ -424,11 +427,12 @@ func cmdSpy(args []string) {
 func cmdPlan(args []string) {
 	fs := flag.NewFlagSet("plan", flag.ExitOnError)
 	in := fs.String("in", "", "input matrix (Matrix Market or .bcsr)")
-	server := fs.String("server", "", "bootesd base URL (e.g. http://localhost:8080); empty plans in-process")
+	server := fs.String("server", "", "bootesd base URL(s), comma-separated for a fleet (e.g. http://a:8080,http://b:8080); empty plans in-process")
 	cacheDir := fs.String("cache", "", "local plan cache directory (in-process mode only)")
 	model := fs.String("model", "", "trained decision-tree model (JSON; in-process mode only)")
 	seed := fs.Int64("seed", 1, "random seed (in-process mode only)")
 	timeout := fs.Duration("timeout", 60*time.Second, "planning deadline (sent as X-Deadline to the daemon)")
+	maxWait := fs.Duration("max-wait", 0, "total wall-clock budget across shed retries and failovers (default 2x timeout + 30s)")
 	strict := fs.Bool("strict", false, "exit non-zero if the plan is degraded")
 	async := fs.Bool("async", false, "submit to the daemon's async queue and poll the job until it finishes (needs -server)")
 	tenant := fs.String("tenant", "", "tenant identity sent as X-Tenant (quota accounting on the daemon)")
@@ -439,7 +443,7 @@ func cmdPlan(args []string) {
 		log.Fatal("plan: -in is required")
 	}
 	if *server != "" {
-		planRemote(*server, *in, *timeout, *strict, *async, *tenant, *retries)
+		planRemote(*server, *in, *timeout, *maxWait, *strict, *async, *tenant, *retries)
 		return
 	}
 	if *async {
@@ -514,53 +518,124 @@ type remoteJob struct {
 	Plan     *remotePlan `json:"plan"`
 }
 
-// remoteClient wraps a bootesd endpoint with shed-aware retries: a 429 reply
-// is retried up to maxRetries times, sleeping for the server's Retry-After
-// hint (jittered so a shed burst does not re-synchronize) before trying again.
+// remoteClient wraps one or more bootesd endpoints with shed-aware retries
+// and fleet failover: a 429 reply is retried up to maxRetries times (and
+// within the retryBudget wall-clock cap), sleeping for the server's
+// Retry-After hint (jittered so a shed burst does not re-synchronize); a
+// transport error or 5xx fails over to the next server in ring-preference
+// order; 307/308 redirects (a fleet node pointing at the key's owner) are
+// followed, re-sending the payload.
 type remoteClient struct {
-	base       string
+	bases      []string // ring-preference order; bases[0] is primary
 	client     *http.Client
 	tenant     string
 	maxRetries int
 	rng        *rand.Rand
+	ctx        context.Context // cancelled on SIGINT/SIGTERM
+	retryStop  time.Time       // wall-clock cap across all retry sleeps
 }
 
-// do issues one request (re-sending payload on each attempt) and returns the
-// final response metadata plus its size-capped body. Only 429s are retried:
-// other failures — including 5xx — are the caller's to interpret.
+// base is the primary endpoint, for messages.
+func (c *remoteClient) base() string { return c.bases[0] }
+
+// sleep waits d or until the client is interrupted, whichever is first.
+func (c *remoteClient) sleep(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.ctx.Done():
+		log.Fatalf("interrupted while waiting to retry")
+	}
+}
+
+// do issues one request and returns the final response metadata plus its
+// size-capped body. Retried-429 sleeps never push past retryStop: a server
+// that keeps answering "Retry-After: 30" cannot hold the CLI hostage beyond
+// -max-wait. Only 429s are retried in place; transport errors and 5xx move
+// on to the next server; other failures are the caller's to interpret.
 func (c *remoteClient) do(method, path string, payload []byte, deadline time.Duration) (*http.Response, []byte) {
 	for attempt := 0; ; attempt++ {
-		var body io.Reader
-		if payload != nil {
-			body = bytes.NewReader(payload)
-		}
-		req, err := http.NewRequest(method, c.base+path, body)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if deadline > 0 {
-			req.Header.Set("X-Deadline", deadline.String())
-		}
-		if c.tenant != "" {
-			req.Header.Set("X-Tenant", c.tenant)
-		}
-		resp, err := c.client.Do(req)
-		if err != nil {
-			log.Fatal(err)
-		}
-		reply, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		resp.Body.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
+		resp, reply := c.doOnce(method, path, payload, deadline)
 		if resp.StatusCode != http.StatusTooManyRequests || attempt >= c.maxRetries {
 			return resp, reply
 		}
 		wait := c.backoff(resp.Header.Get("Retry-After"), attempt)
+		if budget := time.Until(c.retryStop); wait > budget {
+			log.Printf("daemon shedding (429) and the %s retry budget is exhausted; giving up", wait.Round(time.Millisecond))
+			return resp, reply
+		}
 		log.Printf("daemon shedding (429): %s — retrying in %s (%d/%d)",
 			strings.TrimSpace(string(reply)), wait.Round(time.Millisecond), attempt+1, c.maxRetries)
-		time.Sleep(wait)
+		c.sleep(wait)
 	}
+}
+
+// doOnce walks the server list once in preference order, following up to 3
+// owner redirects, until some server produces a non-5xx response.
+func (c *remoteClient) doOnce(method, path string, payload []byte, deadline time.Duration) (*http.Response, []byte) {
+	var lastErr error
+	for i, base := range c.bases {
+		url := base + path
+		for redirect := 0; redirect <= 3; redirect++ {
+			resp, reply, err := c.roundTrip(method, url, payload, deadline)
+			if err != nil {
+				lastErr = err
+				if i < len(c.bases)-1 {
+					log.Printf("server %s unreachable (%v), failing over", base, err)
+				}
+				break
+			}
+			switch {
+			case resp.StatusCode == http.StatusTemporaryRedirect || resp.StatusCode == http.StatusPermanentRedirect:
+				loc := resp.Header.Get("Location")
+				if loc == "" || redirect == 3 {
+					return resp, reply
+				}
+				url = loc
+				continue
+			case resp.StatusCode >= http.StatusInternalServerError && i < len(c.bases)-1:
+				log.Printf("server %s answered %s, failing over", base, resp.Status)
+				lastErr = fmt.Errorf("%s: %s", base, resp.Status)
+			default:
+				return resp, reply
+			}
+			break
+		}
+	}
+	log.Fatalf("no server answered: %v", lastErr)
+	return nil, nil
+}
+
+// roundTrip is one HTTP exchange against one URL.
+func (c *remoteClient) roundTrip(method, url string, payload []byte, deadline time.Duration) (*http.Response, []byte, error) {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(c.ctx, method, url, body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if deadline > 0 {
+		req.Header.Set("X-Deadline", deadline.String())
+	}
+	if c.tenant != "" {
+		req.Header.Set("X-Tenant", c.tenant)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		if c.ctx.Err() != nil {
+			log.Fatalf("interrupted: %v", c.ctx.Err())
+		}
+		return nil, nil, err
+	}
+	reply, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, reply, nil
 }
 
 // backoff converts a Retry-After header into a sleep. The server's hint wins
@@ -578,24 +653,66 @@ func (c *remoteClient) backoff(retryAfter string, attempt int) time.Duration {
 	return wait + time.Duration(c.rng.Int63n(int64(wait)/2+1))
 }
 
-// planRemote posts the matrix file to a bootesd daemon and prints the reply,
-// either synchronously or (with -async) via the durable job queue.
-func planRemote(server, in string, timeout time.Duration, strict, async bool, tenant string, maxRetries int) {
+// planRemote posts the matrix file to a bootesd daemon (or fleet) and prints
+// the reply, either synchronously or (with -async) via the durable job queue.
+// With several servers the matrix is hashed locally and the list is reordered
+// to ring preference, so the first try lands on the key's owner and a cache
+// hit costs one hop.
+func planRemote(server, in string, timeout, maxWait time.Duration, strict, async bool, tenant string, maxRetries int) {
 	payload, err := os.ReadFile(in)
 	if err != nil {
 		log.Fatal(err)
 	}
-	client := &http.Client{}
+	var bases []string
+	for _, s := range strings.Split(server, ",") {
+		if s = strings.TrimRight(strings.TrimSpace(s), "/"); s != "" {
+			bases = append(bases, s)
+		}
+	}
+	if len(bases) == 0 {
+		log.Fatal("plan: -server lists no URLs")
+	}
+	if len(bases) > 1 {
+		// Hash the matrix locally and reorder the server list to the key's
+		// ring preference: the first try lands on the owner, so a fleet-wide
+		// cache hit costs one hop and no forward.
+		var m *sparse.CSR
+		if bytes.HasPrefix(payload, []byte("BCSR")) {
+			m, err = sparse.ReadBinary(bytes.NewReader(payload))
+		} else {
+			m, err = sparse.ReadMatrixMarket(bytes.NewReader(payload))
+		}
+		if err == nil {
+			if r, rerr := ring.New(bases, 0); rerr == nil {
+				bases = r.Replicas(bootes.MatrixKey(m), len(bases))
+			}
+		}
+	}
+	client := &http.Client{
+		// Redirects are followed manually (doOnce) so the hop cap and the
+		// failover logic see them.
+		CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+	}
 	if timeout > 0 {
 		// Leave headroom over the planning deadline for transfer time.
 		client.Timeout = timeout + 30*time.Second
 	}
+	if maxWait <= 0 {
+		maxWait = 5 * time.Minute
+		if timeout > 0 {
+			maxWait = 2*timeout + 30*time.Second
+		}
+	}
+	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelSignals()
 	c := &remoteClient{
-		base:       strings.TrimRight(server, "/"),
+		bases:      bases,
 		client:     client,
 		tenant:     tenant,
 		maxRetries: max(maxRetries, 0),
 		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+		ctx:        ctx,
+		retryStop:  time.Now().Add(maxWait),
 	}
 	if async {
 		planRemoteAsync(c, payload, timeout, strict)
@@ -629,7 +746,7 @@ func planRemote(server, in string, timeout time.Duration, strict, async bool, te
 func planRemoteAsync(c *remoteClient, payload []byte, timeout time.Duration, strict bool) {
 	resp, body := c.do(http.MethodPost, "/v1/plan?async=1", payload, timeout)
 	if resp.StatusCode != http.StatusAccepted {
-		log.Fatalf("%s: %s: %s", c.base, resp.Status, strings.TrimSpace(string(body)))
+		log.Fatalf("%s: %s: %s", c.base(), resp.Status, strings.TrimSpace(string(body)))
 	}
 	var jb remoteJob
 	if err := json.Unmarshal(body, &jb); err != nil {
@@ -680,9 +797,9 @@ func planRemoteAsync(c *remoteClient, payload []byte, timeout time.Duration, str
 		}
 		if time.Now().After(deadline) {
 			log.Fatalf("job %s still %s after %s; it keeps running server-side — poll %s/v1/jobs/%s",
-				jb.JobID, jb.State, budget, c.base, jb.JobID)
+				jb.JobID, jb.State, budget, c.base(), jb.JobID)
 		}
-		time.Sleep(interval)
+		c.sleep(interval)
 		if interval < 2*time.Second {
 			interval *= 2
 		}

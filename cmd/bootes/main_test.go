@@ -1,11 +1,16 @@
 package main
 
 import (
+	"context"
 	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"bootes/internal/faultinject"
 	"bootes/internal/sparse"
@@ -148,5 +153,108 @@ func TestCompareHealthyRunsClean(t *testing.T) {
 	}
 	if !strings.Contains(out, "vs none") {
 		t.Errorf("compare output missing header:\n%s", out)
+	}
+}
+
+// newRemoteTestClient builds a remoteClient the way planRemote does, against
+// the given base URLs.
+func newRemoteTestClient(bases []string, maxWait time.Duration) *remoteClient {
+	return &remoteClient{
+		bases: bases,
+		client: &http.Client{
+			CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+		},
+		maxRetries: 5,
+		rng:        rand.New(rand.NewSource(1)),
+		ctx:        context.Background(),
+		retryStop:  time.Now().Add(maxWait),
+	}
+}
+
+// TestRemoteClientFailsOverOn5xx: a 500 from the preferred server moves the
+// request to the next one in the list.
+func TestRemoteClientFailsOverOn5xx(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"key":"k","reordered":true,"k":8}`)
+	}))
+	defer good.Close()
+
+	c := newRemoteTestClient([]string{bad.URL, good.URL}, time.Minute)
+	resp, body := c.do(http.MethodPost, "/v1/plan", []byte("payload"), 0)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 from the failover target", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"reordered":true`) {
+		t.Fatalf("unexpected body %q", body)
+	}
+}
+
+// TestRemoteClientFollowsOwnerRedirect: a 307 from a fleet node is followed
+// to the owner, re-sending the payload.
+func TestRemoteClientFollowsOwnerRedirect(t *testing.T) {
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got, _ := io.ReadAll(r.Body)
+		if string(got) != "payload" {
+			t.Errorf("redirected request body %q, want %q", got, "payload")
+		}
+		io.WriteString(w, `{"key":"k","reordered":true,"k":8}`)
+	}))
+	defer owner.Close()
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Location", owner.URL+r.URL.RequestURI())
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	defer front.Close()
+
+	c := newRemoteTestClient([]string{front.URL}, time.Minute)
+	resp, body := c.do(http.MethodPost, "/v1/plan", []byte("payload"), 0)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 after following the redirect", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"key":"k"`) {
+		t.Fatalf("unexpected body %q", body)
+	}
+}
+
+// TestRemoteClientRetryWallClockCap: a server that sheds forever with a long
+// Retry-After cannot hold the client past its -max-wait budget.
+func TestRemoteClientRetryWallClockCap(t *testing.T) {
+	shedder := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, "overloaded", http.StatusTooManyRequests)
+	}))
+	defer shedder.Close()
+
+	c := newRemoteTestClient([]string{shedder.URL}, 100*time.Millisecond)
+	start := time.Now()
+	resp, _ := c.do(http.MethodPost, "/v1/plan", []byte("payload"), 0)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want the final 429 surfaced", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retry loop ran %s; the 100ms wall-clock budget did not cap it", elapsed)
+	}
+}
+
+// TestPlanRemoteEndToEnd drives cmdPlan against a stub daemon, covering the
+// multi-server flag parsing and ring preference path.
+func TestPlanRemoteEndToEnd(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"key":"feedc0de","reordered":true,"k":8,"cached":true}`)
+	}))
+	defer srv.Close()
+	in := testMatrixFile(t)
+	out, _, exited := runCLI(t, func() {
+		cmdPlan([]string{"-in", in, "-server", srv.URL + "," + srv.URL, "-timeout", "5s"})
+	})
+	if exited {
+		t.Fatalf("cmdPlan exited; output:\n%s", out)
+	}
+	if !strings.Contains(out, "feedc0de") || !strings.Contains(out, "cache hit") {
+		t.Fatalf("unexpected output:\n%s", out)
 	}
 }

@@ -9,6 +9,8 @@
 //	POST /v1/plan[?perm=1][&path=/srv/m.mtx]   plan an uploaded (or local) matrix
 //	POST /v1/plan?async=1                      enqueue for async planning (202 + job id)
 //	GET  /v1/jobs/{id}                         poll an async job
+//	GET  /v1/cache/{key}                       raw cached entry (fleet peer fill)
+//	GET  /v1/peers                             fleet health view (only with -peers)
 //	GET  /healthz                              liveness
 //	GET  /readyz                               admission (503 while draining)
 //	GET  /statsz                               serving + cache + breaker counters
@@ -19,6 +21,12 @@
 //
 //	bootesd -addr :8080 -cache /var/lib/bootes/plans &
 //	curl --data-binary @A.mtx 'http://localhost:8080/v1/plan?perm=1'
+//
+// Fleet mode (-peers with -self) shards plan serving across several bootesd
+// processes on a consistent-hash ring: requests are forwarded to the key's
+// owner, local cache misses consult the key's replica set before computing,
+// slow owners get one hedged retry, and dead peers are probed and routed
+// around. See the README's fleet quickstart.
 package main
 
 import (
@@ -30,10 +38,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"bootes"
+	"bootes/internal/fleet"
 	"bootes/internal/obs"
 	"bootes/internal/plancache"
 	"bootes/internal/planqueue"
@@ -72,6 +82,14 @@ func main() {
 	queueMaxTenant := flag.Int("queue-max-tenant", 0, "async jobs one tenant may have queued (default queue-max/4)")
 	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant request quota in requests/second (0 disables)")
 	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant quota burst capacity (default ceil(tenant-rate))")
+	peersFlag := flag.String("peers", "", "comma-separated fleet member URLs, including this node's (enables fleet routing)")
+	selfURL := flag.String("self", "", "this node's advertised URL, as it appears in -peers")
+	replicas := flag.Int("replicas", 2, "fleet replica-set size per plan key")
+	vnodes := flag.Int("vnodes", 0, "consistent-hash virtual nodes per peer (default 128)")
+	hedgeAfter := flag.Duration("hedge-after", 250*time.Millisecond, "fire one hedged duplicate at the next replica after this wait (negative disables)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "fleet peer health-probe period")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "per-probe (and per-cache-fill) timeout")
+	downAfter := flag.Int("down-after", 2, "consecutive probe/forward failures before a peer is routed around")
 	flag.Parse()
 
 	simMode, err := bootes.ParseSimilarityMode(*similarity)
@@ -132,7 +150,32 @@ func main() {
 		queue.Start()
 	}
 
-	srv, err := planserve.New(planserve.Config{
+	// Fleet mode: the router owns the ring, the peer health view, and the
+	// peer cache-fill hook. It wraps the serving handler below.
+	var router *fleet.Router
+	if *peersFlag != "" {
+		if *selfURL == "" {
+			log.Fatal("-peers requires -self: this node must know its own URL on the ring")
+		}
+		router, err = fleet.New(fleet.Config{
+			Self:          *selfURL,
+			Peers:         strings.Split(*peersFlag, ","),
+			Replicas:      *replicas,
+			Vnodes:        *vnodes,
+			HedgeAfter:    *hedgeAfter,
+			ProbeInterval: *probeInterval,
+			ProbeTimeout:  *probeTimeout,
+			DownAfter:     *downAfter,
+			MaxBodyBytes:  *maxUpload,
+			Metrics:       obs.Default(),
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cfg := planserve.Config{
 		Plan:            planFunc(model, *seed, simMode),
 		Cache:           cache,
 		Queue:           queue,
@@ -150,7 +193,11 @@ func main() {
 		AllowLocalPaths:   *allowPath,
 		Seed:              *seed,
 		Metrics:           obs.Default(),
-	})
+	}
+	if router != nil {
+		cfg.PeerFill = router.Fill
+	}
+	srv, err := planserve.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -161,6 +208,11 @@ func main() {
 	// registered explicitly (never via the http.DefaultServeMux side effect)
 	// and only when asked — pprof on a public address is an information leak.
 	handler := srv.Handler()
+	if router != nil {
+		handler = router.Handler(handler)
+		router.Start()
+		log.Printf("fleet: self=%s peers=%d replicas=%d hedge-after=%s", *selfURL, len(router.Ring().Nodes()), *replicas, *hedgeAfter)
+	}
 	if *pprofOn {
 		outer := http.NewServeMux()
 		outer.HandleFunc("/debug/pprof/", pprof.Index)
@@ -204,6 +256,12 @@ func main() {
 	// listener.
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	// The router stops probing first: a draining node must not keep marking
+	// peers up/down from a half-torn-down stack (forwarding keeps working on
+	// the last health view while in-flight requests drain).
+	if router != nil {
+		router.Stop()
+	}
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("drain incomplete: %v", err)
 	}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleExposition = `# HELP bootes_serve_latency_seconds Wall-clock latency of /v1/plan responses.
+# TYPE bootes_serve_latency_seconds histogram
+bootes_serve_latency_seconds_bucket{outcome="ok",le="0.005"} 90
+bootes_serve_latency_seconds_bucket{outcome="ok",le="0.01"} 95
+bootes_serve_latency_seconds_bucket{outcome="ok",le="0.025"} 99
+bootes_serve_latency_seconds_bucket{outcome="ok",le="+Inf"} 100
+bootes_serve_latency_seconds_sum{outcome="ok"} 0.42
+bootes_serve_latency_seconds_count{outcome="ok"} 100
+bootes_serve_latency_seconds_bucket{outcome="shed",le="0.005"} 7
+bootes_serve_latency_seconds_bucket{outcome="shed",le="+Inf"} 7
+bootes_serve_served_total 100
+bootes_serve_shed_total 7
+`
+
+func TestParseExpositionMergesAcrossNodes(t *testing.T) {
+	fm := &fleetMetrics{buckets: map[float64]uint64{}}
+	for i := 0; i < 2; i++ { // two identical nodes: every number doubles
+		if err := parseExposition(strings.NewReader(sampleExposition), fm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fm.okCount != 200 {
+		t.Errorf("okCount = %d, want 200", fm.okCount)
+	}
+	if fm.served != 200 || fm.shed != 14 {
+		t.Errorf("served/shed = %d/%d, want 200/14", fm.served, fm.shed)
+	}
+	if got := fm.buckets[0.005]; got != 180 {
+		t.Errorf("bucket[0.005] = %d, want 180", got)
+	}
+	if got := fm.buckets[math.Inf(1)]; got != 200 {
+		t.Errorf("bucket[+Inf] = %d, want 200", got)
+	}
+	// shed-outcome buckets must not leak into the ok histogram
+	if fm.buckets[0.005] == 194 {
+		t.Error("shed buckets were merged into the ok histogram")
+	}
+}
+
+func TestQuantileUpperBound(t *testing.T) {
+	fm := &fleetMetrics{buckets: map[float64]uint64{}}
+	if err := parseExposition(strings.NewReader(sampleExposition), fm); err != nil {
+		t.Fatal(err)
+	}
+	// rank(0.99) = 99, first covering bound is 0.025
+	if p99, ok := fm.quantileUpperBound(0.99); !ok || p99 != 0.025 {
+		t.Errorf("p99 = %v (ok=%v), want 0.025", p99, ok)
+	}
+	// rank(0.50) = 50 fits in the first bucket
+	if p50, ok := fm.quantileUpperBound(0.50); !ok || p50 != 0.005 {
+		t.Errorf("p50 = %v (ok=%v), want 0.005", p50, ok)
+	}
+	// the tail sample only appears at +Inf
+	if p, ok := fm.quantileUpperBound(1.0); !ok || !math.IsInf(p, 1) {
+		t.Errorf("p100 = %v (ok=%v), want +Inf", p, ok)
+	}
+	empty := &fleetMetrics{buckets: map[float64]uint64{}}
+	if _, ok := empty.quantileUpperBound(0.99); ok {
+		t.Error("empty histogram reported a quantile")
+	}
+}
+
+func TestShedRate(t *testing.T) {
+	fm := &fleetMetrics{served: 95, shed: 5}
+	if got := fm.shedRate(); got != 0.05 {
+		t.Errorf("shedRate = %v, want 0.05", got)
+	}
+	if got := (&fleetMetrics{}).shedRate(); got != 0 {
+		t.Errorf("empty shedRate = %v, want 0", got)
+	}
+}
+
+func TestReportBreaches(t *testing.T) {
+	fm := &fleetMetrics{buckets: map[float64]uint64{}}
+	if err := parseExposition(strings.NewReader(sampleExposition), fm); err != nil {
+		t.Fatal(err)
+	}
+	agg := &aggregate{}
+	var b strings.Builder
+	// p99 upper bound is 0.025s; a 10ms SLO must breach, shed 6.5% > 5% must breach.
+	if !report(&b, agg, fm, nil, 10*time.Millisecond, 0.05, false) {
+		t.Errorf("report did not flag breaches:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "SLO FAIL") {
+		t.Errorf("missing SLO FAIL in output:\n%s", b.String())
+	}
+	b.Reset()
+	if report(&b, agg, fm, nil, time.Second, 0.10, false) {
+		t.Errorf("report flagged breach with generous SLOs:\n%s", b.String())
+	}
+}

@@ -63,6 +63,10 @@ type Config struct {
 	Episodes int
 	// Dir is the scratch root for per-episode cache directories (required).
 	Dir string
+	// Only, when non-empty, restricts the run to the named scenario —
+	// the dedicated soaks (fleet-partition, queue-crash) drill one scenario
+	// far past its share of a mixed schedule.
+	Only string
 	// Logf sinks per-episode progress; nil is silent.
 	Logf func(format string, args ...any)
 }
@@ -113,6 +117,19 @@ func Run(cfg Config) (*Report, error) {
 	faultinject.Reset()
 	defer faultinject.Reset()
 
+	pool := scenarios
+	if cfg.Only != "" {
+		pool = nil
+		for _, sc := range scenarios {
+			if sc.name == cfg.Only {
+				pool = append(pool, sc)
+			}
+		}
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("chaos: unknown scenario %q", cfg.Only)
+		}
+	}
+
 	rep := &Report{
 		Scenarios: make(map[string]int),
 		Faults:    make(map[string]int),
@@ -128,7 +145,7 @@ func Run(cfg Config) (*Report, error) {
 			dir:   filepath.Join(cfg.Dir, fmt.Sprintf("ep%05d", i)),
 			rep:   rep,
 		}
-		sc := scenarios[ep.rng.Intn(len(scenarios))]
+		sc := pool[ep.rng.Intn(len(pool))]
 		rep.Scenarios[sc.name]++
 		snap := leakcheck.Take()
 
@@ -395,6 +412,7 @@ var scenarios = []scenario{
 	{"cache-crash", false, scenarioCacheCrash},
 	{"queue-crash", false, scenarioQueueCrash},
 	{"tenant-storm", false, scenarioTenantStorm},
+	{"fleet-partition", false, scenarioFleetPartition},
 }
 
 // scenarioPlanDirect drives bootes.PlanContext (verification always on)

@@ -17,6 +17,7 @@ var (
 	episodes      = flag.Int("chaos.episodes", 120, "episodes for TestChaosEpisodes (make chaos raises this for the soak)")
 	seed          = flag.Int64("chaos.seed", 20250806, "chaos schedule seed")
 	queueEpisodes = flag.Int("chaos.queue-episodes", 500, "episodes for TestQueueCrashSoak")
+	fleetEpisodes = flag.Int("chaos.fleet-episodes", 12, "episodes for TestFleetPartitionSoak")
 )
 
 // TestChaosEpisodes is the always-on short run: every `go test` executes the
@@ -142,5 +143,41 @@ func TestChaosSeedsDiverge(t *testing.T) {
 func TestChaosRequiresDir(t *testing.T) {
 	if _, err := Run(Config{Seed: 1, Episodes: 1}); err == nil {
 		t.Fatal("Run accepted an empty scratch dir")
+	}
+}
+
+// TestFleetPartitionSoak drills the fleet-partition scenario alone: each
+// episode is a full warm → owner crash → route-around → restart → converge
+// cycle on a real 3-node loopback fleet. The mixed schedule visits it ~1/8
+// of the time; routing races (a recompute despite an up replica holding the
+// plan, divergence after recovery) need the dense repetition.
+func TestFleetPartitionSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet-partition soak skipped in -short mode")
+	}
+	rep, err := Run(Config{
+		Seed:     *seed,
+		Episodes: *fleetEpisodes,
+		Dir:      t.TempDir(),
+		Only:     "fleet-partition",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("seed %d: fleet invariants broke:\n%s", *seed, strings.Join(rep.Violations, "\n"))
+	}
+	if rep.Scenarios["fleet-partition"] != rep.Episodes {
+		t.Fatalf("Only filter leaked: scenarios=%v", rep.Scenarios)
+	}
+	t.Logf("fleet-partition soak: %d episodes, healthy=%d degraded=%d refused=%d",
+		rep.Episodes, rep.Healthy, rep.DegradedPlans, rep.Refused)
+}
+
+// TestChaosUnknownOnly: a typo'd -Only is a loud config error, not a silently
+// empty run.
+func TestChaosUnknownOnly(t *testing.T) {
+	if _, err := Run(Config{Episodes: 1, Dir: t.TempDir(), Only: "no-such-scenario"}); err == nil {
+		t.Fatal("unknown Only scenario did not error")
 	}
 }

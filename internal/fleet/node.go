@@ -1,0 +1,290 @@
+// In-process fleet harness: LaunchCluster stands up N full bootesd-shaped
+// nodes (plan cache + planserve + fleet router) on real loopback listeners,
+// with kill/restart — the substrate for the fleet-partition chaos scenario,
+// cmd/loadgen -spawn, and the fleet tests. Real TCP rather than
+// httptest.Server internals so forwarding, hedging, and cache fills exercise
+// the same client paths production does.
+
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"bootes/internal/obs"
+	"bootes/internal/plancache"
+	"bootes/internal/planserve"
+)
+
+// ClusterOptions configures LaunchCluster.
+type ClusterOptions struct {
+	// Plan is the planning pipeline every node runs (required).
+	Plan planserve.PlanFunc
+	// Dir is the parent directory for per-node cache directories (required;
+	// node i caches under Dir/node<i>). Restarting a node reopens the same
+	// directory — the crash-safe cache is part of what the harness exercises.
+	Dir string
+	// Replicas, Vnodes, HedgeAfter, ProbeInterval, ProbeTimeout, DownAfter
+	// flow into each node's fleet.Config (zero values take fleet defaults).
+	Replicas      int
+	Vnodes        int
+	HedgeAfter    time.Duration
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	DownAfter     int
+	// MaxInFlight bounds each node's concurrent pipelines (default 4).
+	MaxInFlight int
+	// Breaker is each node's pipeline breaker (zero disables).
+	Breaker planserve.BreakerConfig
+	// Seed feeds each node's planserve jitter (node i gets Seed+i).
+	Seed int64
+	// Logf sinks node diagnostics; nil discards (cluster logs are noisy).
+	Logf func(format string, args ...any)
+}
+
+// Node is one in-process fleet member.
+type Node struct {
+	// URL is the node's advertised address (http://127.0.0.1:port), fixed
+	// across restarts.
+	URL string
+
+	opts  ClusterOptions
+	peers []string
+	dir   string
+	seed  int64
+	logf  func(string, ...any)
+
+	mu     sync.Mutex
+	srv    *planserve.Server
+	router *Router
+	cache  *plancache.Cache
+	http   *http.Server
+	reg    *obs.Registry
+	alive  bool
+}
+
+// Cluster is a set of in-process nodes on one ring.
+type Cluster struct {
+	Nodes []*Node
+}
+
+// LaunchCluster builds and starts n nodes. Listeners are bound first so
+// every node knows the full peer list before any serves.
+func LaunchCluster(n int, opts ClusterOptions) (*Cluster, error) {
+	if opts.Plan == nil {
+		return nil, fmt.Errorf("fleet: ClusterOptions.Plan is required")
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("fleet: ClusterOptions.Dir is required")
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	listeners := make([]net.Listener, n)
+	peers := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:i] {
+				l.Close()
+			}
+			return nil, err
+		}
+		listeners[i] = ln
+		peers[i] = "http://" + ln.Addr().String()
+	}
+	c := &Cluster{}
+	for i, ln := range listeners {
+		node := &Node{
+			URL:   peers[i],
+			opts:  opts,
+			peers: peers,
+			dir:   filepath.Join(opts.Dir, fmt.Sprintf("node%d", i)),
+			seed:  opts.Seed + int64(i),
+			logf:  opts.Logf,
+		}
+		if err := node.start(ln); err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	return c, nil
+}
+
+// start assembles the node's stack on ln and begins serving.
+func (nd *Node) start(ln net.Listener) error {
+	if err := os.MkdirAll(nd.dir, 0o755); err != nil {
+		return err
+	}
+	cache, err := plancache.Open(nd.dir)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	router, err := New(Config{
+		Self:          nd.URL,
+		Peers:         nd.peers,
+		Replicas:      nd.opts.Replicas,
+		Vnodes:        nd.opts.Vnodes,
+		HedgeAfter:    nd.opts.HedgeAfter,
+		ProbeInterval: nd.opts.ProbeInterval,
+		ProbeTimeout:  nd.opts.ProbeTimeout,
+		DownAfter:     nd.opts.DownAfter,
+		Metrics:       reg,
+		Logf:          nd.logf,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := planserve.New(planserve.Config{
+		Plan:        nd.opts.Plan,
+		Cache:       cache,
+		MaxInFlight: nd.opts.MaxInFlight,
+		Breaker:     nd.opts.Breaker,
+		PeerFill:    router.Fill,
+		Seed:        nd.seed,
+		Metrics:     reg,
+		Logf:        nd.logf,
+	})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: router.Handler(srv.Handler())}
+	nd.mu.Lock()
+	nd.srv, nd.router, nd.cache, nd.http, nd.reg = srv, router, cache, httpSrv, reg
+	nd.alive = true
+	nd.mu.Unlock()
+	router.Start()
+	go func() { _ = httpSrv.Serve(ln) }()
+	return nil
+}
+
+// Kill abruptly stops the node (no drain): the listener and all connections
+// close mid-flight, as a crash would. The cache directory survives. Safe to
+// call on a dead node.
+func (nd *Node) Kill() {
+	nd.mu.Lock()
+	alive := nd.alive
+	nd.alive = false
+	httpSrv, router := nd.http, nd.router
+	nd.mu.Unlock()
+	if !alive {
+		return
+	}
+	router.Stop()
+	_ = httpSrv.Close()
+}
+
+// Restart brings a killed node back on its original address, reopening the
+// cache directory the way a restarted bootesd would.
+func (nd *Node) Restart() error {
+	nd.mu.Lock()
+	alive := nd.alive
+	nd.mu.Unlock()
+	if alive {
+		return fmt.Errorf("fleet: node %s is already running", nd.URL)
+	}
+	addr := nd.URL[len("http://"):]
+	var ln net.Listener
+	var err error
+	// The old listener's port can linger in TIME_WAIT for a moment after an
+	// abrupt close; retry briefly rather than failing the restart.
+	for i := 0; i < 50; i++ {
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("fleet: rebinding %s: %w", addr, err)
+	}
+	return nd.start(ln)
+}
+
+// Alive reports whether the node is serving.
+func (nd *Node) Alive() bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.alive
+}
+
+// Server returns the node's current planserve server (nil while killed).
+func (nd *Node) Server() *planserve.Server {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if !nd.alive {
+		return nil
+	}
+	return nd.srv
+}
+
+// Router returns the node's current fleet router (nil while killed).
+func (nd *Node) Router() *Router {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if !nd.alive {
+		return nil
+	}
+	return nd.router
+}
+
+// Cache returns the node's plan cache handle (nil while killed). The
+// directory outlives kills; the handle does not.
+func (nd *Node) Cache() *plancache.Cache {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if !nd.alive {
+		return nil
+	}
+	return nd.cache
+}
+
+// Close gracefully shuts the node down: drain planserve, stop the router,
+// close the listener. Used at cluster teardown (Kill is the chaos path).
+func (nd *Node) Close(ctx context.Context) error {
+	nd.mu.Lock()
+	alive := nd.alive
+	nd.alive = false
+	srv, router, httpSrv := nd.srv, nd.router, nd.http
+	nd.mu.Unlock()
+	if !alive {
+		return nil
+	}
+	err := srv.Shutdown(ctx)
+	router.Stop()
+	if herr := httpSrv.Shutdown(ctx); err == nil {
+		err = herr
+	}
+	return err
+}
+
+// Close tears the whole cluster down, gracefully, concurrently.
+func (c *Cluster) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, nd := range c.Nodes {
+		wg.Add(1)
+		go func(nd *Node) {
+			defer wg.Done()
+			_ = nd.Close(ctx)
+		}(nd)
+	}
+	wg.Wait()
+}
+
+// URLs returns every node's advertised address, in launch order.
+func (c *Cluster) URLs() []string {
+	out := make([]string, len(c.Nodes))
+	for i, nd := range c.Nodes {
+		out[i] = nd.URL
+	}
+	return out
+}

@@ -134,6 +134,16 @@ func (c *Cache) Get(key string) (*Entry, bool) {
 	return e, ok
 }
 
+// Peek returns the cached entry for key without touching the hit/miss
+// counters: the fleet's peer-fill endpoint reads through Peek so sibling
+// traffic does not distort this node's own cache-health statistics.
+func (c *Cache) Peek(key string) (*Entry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[key]
+	return e, ok
+}
+
 // Put durably stores e under e.Key: the entry is verified (see below),
 // encoded, written through the atomic protocol, and only then published to
 // the in-memory index, so readers never observe an entry the disk does not

@@ -42,13 +42,16 @@ type BreakerConfig struct {
 	Cooldown time.Duration
 }
 
-// breaker implements the trip / cooldown / half-open-probe state machine.
+// Breaker implements the trip / cooldown / half-open-probe state machine.
+// It is exported so internal/fleet can reuse the same machinery as a
+// per-peer circuit breaker (a peer that keeps failing forwards or cache
+// fills is skipped for Cooldown, then probed with one request).
 // It protects the planning pipeline from repeated pointless work: when the
 // pipeline is persistently falling down the degradation ladder (e.g. the
 // eigensolver cannot converge on anything), clients get an immediate,
 // clearly-marked identity plan instead of burning a pipeline slot to compute
 // the same identity plan slowly.
-type breaker struct {
+type Breaker struct {
 	cfg BreakerConfig
 	now func() time.Time
 
@@ -60,19 +63,21 @@ type breaker struct {
 	trips         int64
 }
 
-func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+// NewBreaker builds a breaker; nil now uses the real clock, and a zero
+// cfg.FailureThreshold disables it (Allow always permits).
+func NewBreaker(cfg BreakerConfig, now func() time.Time) *Breaker {
 	if cfg.Cooldown <= 0 {
 		cfg.Cooldown = 15 * time.Second
 	}
 	if now == nil {
 		now = time.Now
 	}
-	return &breaker{cfg: cfg, now: now}
+	return &Breaker{cfg: cfg, now: now}
 }
 
-// allow decides how a request may proceed: run the real pipeline (possibly
+// Allow decides how a request may proceed: run the real pipeline (possibly
 // as the half-open probe) or take the identity fast-path.
-func (b *breaker) allow() (runPipeline, probe bool) {
+func (b *Breaker) Allow() (runPipeline, probe bool) {
 	if b.cfg.FailureThreshold <= 0 {
 		return true, false
 	}
@@ -97,10 +102,10 @@ func (b *breaker) allow() (runPipeline, probe bool) {
 	}
 }
 
-// cancelProbe releases a claimed half-open probe slot without an outcome
+// CancelProbe releases a claimed half-open probe slot without an outcome
 // (the probing request was coalesced away or died before the pipeline ran),
 // so the next request can probe instead of the slot leaking.
-func (b *breaker) cancelProbe() {
+func (b *Breaker) CancelProbe() {
 	if b.cfg.FailureThreshold <= 0 {
 		return
 	}
@@ -111,9 +116,9 @@ func (b *breaker) cancelProbe() {
 	b.mu.Unlock()
 }
 
-// record feeds one pipeline outcome back. probe marks the half-open probe's
+// Record feeds one pipeline outcome back. probe marks the half-open probe's
 // own result; success means the plan did not hard-degrade.
-func (b *breaker) record(success, probe bool) {
+func (b *Breaker) Record(success, probe bool) {
 	if b.cfg.FailureThreshold <= 0 {
 		return
 	}
@@ -147,8 +152,23 @@ func (b *breaker) record(success, probe bool) {
 	}
 }
 
-// snapshot returns the state and trip count for /statsz.
-func (b *breaker) snapshot() (BreakerState, int64) {
+// Reset closes the breaker and clears its failure memory, preserving the
+// trip count. The fleet prober calls it when a peer transitions back to
+// healthy: a passed readyz probe is direct evidence of recovery, better
+// than waiting out a cooldown earned by failures from before the restart.
+func (b *Breaker) Reset() {
+	if b.cfg.FailureThreshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.consecutive = 0
+	b.probeInFlight = false
+	b.mu.Unlock()
+}
+
+// Snapshot returns the state and trip count for /statsz and /v1/peers.
+func (b *Breaker) Snapshot() (BreakerState, int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.state, b.trips

@@ -40,70 +40,70 @@ func (c *fakeClock) advance(d time.Duration) {
 // closed → open → half-open → closed and the probe-failure re-open.
 func TestBreakerUnitStateMachine(t *testing.T) {
 	clock := newFakeClock()
-	b := newBreaker(BreakerConfig{FailureThreshold: 2, Cooldown: 10 * time.Second}, clock.now)
+	b := NewBreaker(BreakerConfig{FailureThreshold: 2, Cooldown: 10 * time.Second}, clock.now)
 
-	if run, probe := b.allow(); !run || probe {
+	if run, probe := b.Allow(); !run || probe {
 		t.Fatal("closed breaker must admit normally")
 	}
-	b.record(false, false)
-	if st, _ := b.snapshot(); st != BreakerClosed {
+	b.Record(false, false)
+	if st, _ := b.Snapshot(); st != BreakerClosed {
 		t.Fatal("one failure below threshold tripped the breaker")
 	}
-	b.record(true, false) // success resets the consecutive count
-	b.record(false, false)
-	if st, _ := b.snapshot(); st != BreakerClosed {
+	b.Record(true, false) // success resets the consecutive count
+	b.Record(false, false)
+	if st, _ := b.Snapshot(); st != BreakerClosed {
 		t.Fatal("non-consecutive failures tripped the breaker")
 	}
-	b.record(false, false)
-	if st, trips := b.snapshot(); st != BreakerOpen || trips != 1 {
+	b.Record(false, false)
+	if st, trips := b.Snapshot(); st != BreakerOpen || trips != 1 {
 		t.Fatalf("state=%v trips=%d after threshold failures, want open/1", st, trips)
 	}
 
 	// Open within the cooldown: fast-path only.
 	clock.advance(9 * time.Second)
-	if run, _ := b.allow(); run {
+	if run, _ := b.Allow(); run {
 		t.Fatal("open breaker admitted a pipeline run inside the cooldown")
 	}
 	// Cooldown elapsed: exactly one probe, concurrent requests stay shed.
 	clock.advance(2 * time.Second)
-	run, probe := b.allow()
+	run, probe := b.Allow()
 	if !run || !probe {
 		t.Fatalf("allow after cooldown = (%v, %v), want a probe", run, probe)
 	}
-	if run, _ := b.allow(); run {
+	if run, _ := b.Allow(); run {
 		t.Fatal("second concurrent probe admitted")
 	}
 	// A cancelled probe frees the slot for the next request.
-	b.cancelProbe()
-	if run, probe := b.allow(); !run || !probe {
+	b.CancelProbe()
+	if run, probe := b.Allow(); !run || !probe {
 		t.Fatal("probe slot not released by cancelProbe")
 	}
 	// Probe failure re-opens and restarts the cooldown.
-	b.record(false, true)
-	if st, trips := b.snapshot(); st != BreakerOpen || trips != 2 {
+	b.Record(false, true)
+	if st, trips := b.Snapshot(); st != BreakerOpen || trips != 2 {
 		t.Fatalf("state=%v trips=%d after failed probe, want open/2", st, trips)
 	}
 	clock.advance(11 * time.Second)
-	if run, probe := b.allow(); !run || !probe {
+	if run, probe := b.Allow(); !run || !probe {
 		t.Fatal("no probe after second cooldown")
 	}
-	b.record(true, true)
-	if st, _ := b.snapshot(); st != BreakerClosed {
+	b.Record(true, true)
+	if st, _ := b.Snapshot(); st != BreakerClosed {
 		t.Fatal("successful probe did not close the breaker")
 	}
 	// A stale failure recorded after recovery must not instantly re-trip.
-	b.record(false, false)
-	if st, _ := b.snapshot(); st != BreakerClosed {
+	b.Record(false, false)
+	if st, _ := b.Snapshot(); st != BreakerClosed {
 		t.Fatal("single post-recovery failure re-tripped a threshold-2 breaker")
 	}
 }
 
 func TestBreakerDisabledByDefault(t *testing.T) {
-	b := newBreaker(BreakerConfig{}, nil)
+	b := NewBreaker(BreakerConfig{}, nil)
 	for i := 0; i < 10; i++ {
-		b.record(false, false)
+		b.Record(false, false)
 	}
-	if run, _ := b.allow(); !run {
+	if run, _ := b.Allow(); !run {
 		t.Fatal("zero-threshold breaker must never open")
 	}
 }
@@ -275,4 +275,35 @@ func TestBreakerEndToEndRealPipeline(t *testing.T) {
 	if st := s.Stats(); st.Breaker != "closed" {
 		t.Fatalf("breaker = %s after healthy probe, want closed", st.Breaker)
 	}
+}
+
+func TestBreakerReset(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour}, clock.now)
+	b.Record(false, false)
+	b.Record(false, false)
+	if st, _ := b.Snapshot(); st != BreakerOpen {
+		t.Fatal("breaker did not trip")
+	}
+	// Reset mid-cooldown: the breaker closes immediately and serves normally.
+	b.Reset()
+	if st, trips := b.Snapshot(); st != BreakerClosed || trips != 1 {
+		t.Fatalf("state=%v trips=%d after reset, want closed with trips preserved", st, trips)
+	}
+	if run, probe := b.Allow(); !run || probe {
+		t.Fatal("reset breaker must admit normally, not as a probe")
+	}
+	// Reset also releases a claimed half-open probe slot.
+	b.Record(false, false)
+	b.Record(false, false)
+	clock.advance(2 * time.Hour)
+	if run, probe := b.Allow(); !run || !probe {
+		t.Fatal("expected a half-open probe claim")
+	}
+	b.Reset()
+	if run, probe := b.Allow(); !run || probe {
+		t.Fatal("reset did not clear the in-flight probe claim")
+	}
+	// Reset on a disabled breaker is a no-op.
+	NewBreaker(BreakerConfig{}, nil).Reset()
 }

@@ -141,6 +141,27 @@ bootes_serve_draining 0
 # HELP bootes_serve_inflight Pipelines currently executing.
 # TYPE bootes_serve_inflight gauge
 bootes_serve_inflight 0
+# HELP bootes_serve_latency_seconds End-to-end /v1/plan request latency by outcome (ok, shed, error).
+# TYPE bootes_serve_latency_seconds histogram
+bootes_serve_latency_seconds_bucket{outcome="ok",le="0.005"} 0
+bootes_serve_latency_seconds_bucket{outcome="ok",le="0.01"} 0
+bootes_serve_latency_seconds_bucket{outcome="ok",le="0.025"} 1
+bootes_serve_latency_seconds_bucket{outcome="ok",le="0.05"} 1
+bootes_serve_latency_seconds_bucket{outcome="ok",le="0.1"} 1
+bootes_serve_latency_seconds_bucket{outcome="ok",le="0.25"} 1
+bootes_serve_latency_seconds_bucket{outcome="ok",le="0.5"} 1
+bootes_serve_latency_seconds_bucket{outcome="ok",le="1"} 1
+bootes_serve_latency_seconds_bucket{outcome="ok",le="2.5"} 1
+bootes_serve_latency_seconds_bucket{outcome="ok",le="5"} 1
+bootes_serve_latency_seconds_bucket{outcome="ok",le="10"} 1
+bootes_serve_latency_seconds_bucket{outcome="ok",le="30"} 1
+bootes_serve_latency_seconds_bucket{outcome="ok",le="60"} 1
+bootes_serve_latency_seconds_bucket{outcome="ok",le="+Inf"} 1
+bootes_serve_latency_seconds_sum{outcome="ok"} 0.011
+bootes_serve_latency_seconds_count{outcome="ok"} 1
+# HELP bootes_serve_peer_fills_total Local cache misses answered by a fleet sibling's cache.
+# TYPE bootes_serve_peer_fills_total counter
+bootes_serve_peer_fills_total 0
 # HELP bootes_serve_queued Requests waiting for an in-flight slot.
 # TYPE bootes_serve_queued gauge
 bootes_serve_queued 0
@@ -317,7 +338,7 @@ func TestStatszShapePinned(t *testing.T) {
 
 	wantKeys := []string{
 		"Served", "Shed", "Coalesced", "Degraded", "BreakerShortCircuits",
-		"Retries", "VerifyViolations", "TenantShed", "AsyncRejected",
+		"Retries", "VerifyViolations", "TenantShed", "AsyncRejected", "PeerFills",
 		"InFlight", "Queued", "Draining",
 		"Breaker", "BreakerTrips", "Cache",
 		// "Queue" is omitempty and absent here: this server runs without an

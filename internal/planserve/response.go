@@ -57,6 +57,19 @@ func planResponseFromEntry(e *plancache.Entry) *PlanResponse {
 	}
 }
 
+// resultFromEntry rebuilds a pipeline-shaped result from a cached entry, for
+// the singleflight leader's double-check path.
+func resultFromEntry(e *plancache.Entry) *reorder.Result {
+	return &reorder.Result{
+		Perm:           e.Perm,
+		Reordered:      e.Reordered,
+		Degraded:       e.Degraded,
+		DegradedReason: e.DegradedReason,
+		FootprintBytes: e.FootprintBytes,
+		Extra:          map[string]float64{"k": float64(e.K)},
+	}
+}
+
 func entryFromResult(key string, res *reorder.Result) *plancache.Entry {
 	return &plancache.Entry{
 		Key:               key,

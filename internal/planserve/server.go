@@ -90,6 +90,12 @@ type Config struct {
 	// matrix from the server's filesystem. Off by default: enable only for
 	// trusted local clients (the bootesd -allow-path flag).
 	AllowLocalPaths bool
+	// PeerFill, when set, is consulted on a local cache miss before the
+	// pipeline runs: it asks the key's replica set (internal/fleet) whether a
+	// sibling already holds the plan. A hit is verified, replicated into the
+	// local cache, and served without computing — the fleet-wide
+	// compute-once-per-replica-set property rests on this hook.
+	PeerFill func(ctx context.Context, key string) (*plancache.Entry, bool)
 	// Seed seeds the retry jitter (deterministic tests); 0 uses a fixed seed.
 	Seed int64
 	// Metrics is the registry the server's serving counters register on and
@@ -119,6 +125,9 @@ type Stats struct {
 	// async alike); AsyncRejected counts async submissions refused by queue
 	// backlog bounds.
 	TenantShed, AsyncRejected int64
+	// PeerFills counts local cache misses answered by a fleet sibling's
+	// cache instead of a pipeline run.
+	PeerFills int64
 	// InFlight / Queued are instantaneous gauges.
 	InFlight, Queued int64
 	// Draining reports shutdown in progress.
@@ -138,7 +147,7 @@ type Stats struct {
 type Server struct {
 	cfg     Config
 	sem     chan struct{}
-	breaker *breaker
+	breaker *Breaker
 	flights flightGroup
 	mux     *http.ServeMux
 	limiter *tenantLimiter
@@ -156,8 +165,9 @@ type Server struct {
 	// Stats() and /statsz read the same instruments /metrics exposes.
 	reg                                                      *obs.Registry
 	served, shed, coalesced, degraded, retries, breakerShort *obs.Counter
-	verifyBad, asyncRejected                                 *obs.Counter
+	verifyBad, asyncRejected, peerFills                      *obs.Counter
 	running, queued                                          *obs.Gauge
+	latency                                                  *obs.HistogramVec
 }
 
 // New validates cfg, applies defaults, and builds the server.
@@ -198,7 +208,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
-		breaker: newBreaker(cfg.Breaker, cfg.Now),
+		breaker: NewBreaker(cfg.Breaker, cfg.Now),
 		jitter:  rand.New(rand.NewSource(seed)),
 	}
 	s.registerMetrics(cfg.Metrics)
@@ -206,6 +216,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
@@ -230,14 +241,18 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 	s.breakerShort = reg.Counter("bootes_serve_breaker_short_circuits_total", "Requests answered by the breaker's identity fast-path.")
 	s.verifyBad = reg.Counter("bootes_serve_verify_violations_total", "Plan-verification violations observed by this server.")
 	s.asyncRejected = reg.Counter("bootes_serve_async_rejected_total", "Async submissions rejected by queue backlog bounds (429).")
+	s.peerFills = reg.Counter("bootes_serve_peer_fills_total", "Local cache misses answered by a fleet sibling's cache.")
 	s.running = reg.Gauge("bootes_serve_inflight", "Pipelines currently executing.")
 	s.queued = reg.Gauge("bootes_serve_queued", "Requests waiting for an in-flight slot.")
+	s.latency = reg.HistogramVec("bootes_serve_latency_seconds",
+		"End-to-end /v1/plan request latency by outcome (ok, shed, error).",
+		latencyBuckets, "outcome")
 	reg.CounterFunc("bootes_serve_breaker_trips_total", "Circuit breaker closed-to-open transitions.", func() int64 {
-		_, trips := s.breaker.snapshot()
+		_, trips := s.breaker.Snapshot()
 		return trips
 	})
 	reg.GaugeFunc("bootes_serve_breaker_state", "Circuit breaker position: 0 closed, 1 open, 2 half-open.", func() int64 {
-		state, _ := s.breaker.snapshot()
+		state, _ := s.breaker.Snapshot()
 		return int64(state)
 	})
 	reg.GaugeFunc("bootes_serve_draining", "1 while graceful shutdown is in progress.", func() int64 {
@@ -287,7 +302,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
-	state, trips := s.breaker.snapshot()
+	state, trips := s.breaker.Snapshot()
 	st := Stats{
 		Served:               s.served.Value(),
 		Shed:                 s.shed.Value(),
@@ -303,6 +318,7 @@ func (s *Server) Stats() Stats {
 		BreakerTrips:         trips,
 	}
 	st.AsyncRejected = s.asyncRejected.Value()
+	st.PeerFills = s.peerFills.Value()
 	if s.limiter != nil {
 		st.TenantShed = s.limiter.shedTotal.Value()
 	}
@@ -332,26 +348,86 @@ type PlanResponse struct {
 	SimilarityMode string `json:"similarityMode,omitempty"`
 	// Cached is true when the plan came from the persistent cache;
 	// Coalesced when it was computed by a concurrent identical request;
-	// Breaker is "open" when the identity fast-path answered.
-	Cached    bool   `json:"cached,omitempty"`
-	Coalesced bool   `json:"coalesced,omitempty"`
-	Breaker   string `json:"breaker,omitempty"`
+	// Breaker is "open" when the identity fast-path answered; PeerFilled
+	// marks a local miss answered from a fleet sibling's cache.
+	Cached     bool   `json:"cached,omitempty"`
+	Coalesced  bool   `json:"coalesced,omitempty"`
+	Breaker    string `json:"breaker,omitempty"`
+	PeerFilled bool   `json:"peerFilled,omitempty"`
 	// Perm is included only when the request asked with ?perm=1.
 	Perm []int32 `json:"perm,omitempty"`
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ok")
+// HealthResponse is the healthz/readyz JSON body: enough for fleet routing
+// (and operators) to see not just up/down but how loaded and how drained a
+// node is. QueueDepth counts async jobs ready to run; Queued counts sync
+// requests waiting for an admission slot.
+type HealthResponse struct {
+	Status     string `json:"status"` // "ok" or "draining"
+	Draining   bool   `json:"draining"`
+	InFlight   int64  `json:"inFlight"`
+	Queued     int64  `json:"queued"`
+	QueueDepth int64  `json:"queueDepth"`
 }
 
+func (s *Server) health() HealthResponse {
+	h := HealthResponse{
+		Status:   "ok",
+		Draining: s.draining.Load(),
+		InFlight: s.running.Value(),
+		Queued:   s.queued.Value(),
+	}
+	if h.Draining {
+		h.Status = "draining"
+	}
+	if s.cfg.Queue != nil {
+		h.QueueDepth = s.cfg.Queue.Stats().Depth
+	}
+	return h
+}
+
+// handleHealthz is liveness: always 200 while the process serves HTTP, even
+// during drain — a draining node is alive, just not admitting.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(s.health())
+}
+
+// handleReadyz is admission: 503 while draining, so fleet health probes drop
+// a draining node out of routing and new work flows to its peers instead.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+	h := s.health()
+	w.Header().Set("Content-Type", "application/json")
+	if h.Draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	} else {
+		w.WriteHeader(http.StatusOK)
+	}
+	_ = json.NewEncoder(w).Encode(h)
+}
+
+// handleCacheGet is the peer cache-fill endpoint: a sibling with a local miss
+// asks whether this node's cache holds the key. The reply is the raw encoded
+// entry (same CRC-checked container the disk holds), 404 on a miss. Reads
+// stay available during drain — fills are cheap and help the surviving fleet.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Cache == nil {
+		http.Error(w, "no plan cache on this node", http.StatusNotFound)
 		return
 	}
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ready")
+	e, ok := s.cfg.Cache.Peek(r.PathValue("key"))
+	if !ok {
+		http.Error(w, "not cached", http.StatusNotFound)
+		return
+	}
+	data, err := plancache.EncodeEntry(e)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
@@ -370,7 +446,47 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	_ = obs.WriteMerged(w, s.reg, obs.Default())
 }
 
+// latencyBuckets covers sub-10ms cache hits through multi-minute pipeline
+// runs; cmd/loadgen derives its p99 SLO check from these bounds.
+var latencyBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// statusWriter records the response code so the latency histogram can label
+// by outcome. Unwrap keeps http.NewResponseController (the upload read
+// deadline) working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// latencyOutcome buckets a status code for the latency histogram's label.
+func latencyOutcome(code int) string {
+	switch {
+	case code < 300:
+		return "ok"
+	case code == http.StatusTooManyRequests:
+		return "shed"
+	default:
+		return "error"
+	}
+}
+
+// handlePlan wraps the real handler with the end-to-end latency measurement,
+// on the registry clock so the metrics golden stays deterministic.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	start := s.reg.Now()
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.servePlan(sw, r)
+	s.latency.With(latencyOutcome(sw.code)).Observe(s.reg.Now().Sub(start).Seconds())
+}
+
+func (s *Server) servePlan(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		http.Error(w, "shutting down", http.StatusServiceUnavailable)
 		return
@@ -445,7 +561,40 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	runPipeline, probe := s.breaker.allow()
+	// Local miss: before burning a pipeline slot, ask the key's replica set
+	// whether a sibling already computed this plan (fleet peer-fill). A hit
+	// is verified exactly like a local cache hit, replicated into the local
+	// cache, and served — recomputing a plan any up replica holds is the
+	// failure mode this hook exists to prevent.
+	if s.cfg.PeerFill != nil {
+		if e, ok := s.cfg.PeerFill(ctx, key); ok && e != nil {
+			vs := planverify.CheckEntryFields(e.Perm, e.K, e.Reordered, e.Degraded, e.DegradedReason)
+			if len(e.Perm) != m.Rows {
+				vs = append(vs, planverify.Violation{
+					Code:   planverify.CodePermInvalid,
+					Detail: fmt.Sprintf("peer entry permutation has %d rows, matrix has %d", len(e.Perm), m.Rows),
+				})
+			}
+			if len(vs) == 0 {
+				s.peerFills.Inc()
+				s.served.Inc()
+				if s.cfg.Cache != nil {
+					if err := s.cfg.Cache.Put(e); err != nil {
+						s.cfg.Logf("planserve: replicating peer-filled plan %.12s failed: %v", key, err)
+					}
+				}
+				resp := planResponseFromEntry(e)
+				resp.PeerFilled = true
+				s.respond(w, r, resp, true, false, "")
+				return
+			}
+			planverify.Record(planverify.SiteServeHit, vs...)
+			s.verifyBad.Add(int64(len(vs)))
+			s.cfg.Logf("planserve: peer-filled plan %.12s failed verification, recomputing: %v", key, vs)
+		}
+	}
+
+	runPipeline, probe := s.breaker.Allow()
 	if !runPipeline {
 		// Identity fast-path: the pipeline is persistently unhealthy, so an
 		// immediate, clearly-marked identity plan beats queueing for work
@@ -474,14 +623,14 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			// We claimed the half-open probe but rode an existing flight
 			// instead of running the pipeline; free the slot for the next
 			// request.
-			s.breaker.cancelProbe()
+			s.breaker.CancelProbe()
 		}
 	}
 	if err != nil {
 		if probe && !shared {
 			// The probe died before producing a pipeline outcome (shed or
 			// out of time): no verdict either way, release the slot.
-			s.breaker.cancelProbe()
+			s.breaker.CancelProbe()
 		}
 		switch {
 		case errors.Is(err, errShed):
@@ -512,6 +661,24 @@ var errShed = errors.New("planserve: load shed")
 // (bounded queue, immediate shed beyond it), run the pipeline with retries,
 // record the breaker outcome, and persist a healthy plan.
 func (s *Server) runAdmitted(ctx context.Context, m *sparse.CSR, key string, probe bool) (*reorder.Result, error) {
+	// Leader double-check: between this request's cache miss and its turn as
+	// singleflight leader, a concurrent request for the same key may have
+	// computed and cached the plan without overlapping this flight — the
+	// window is wide when a peer fill's HTTP round-trip sits between the
+	// miss and the flight. A verified hit here is served without burning an
+	// admission slot or recomputing (the fleet's compute-once property
+	// depends on this).
+	if s.cfg.Cache != nil {
+		if e, ok := s.cfg.Cache.Get(key); ok {
+			vs := planverify.CheckEntryFields(e.Perm, e.K, e.Reordered, e.Degraded, e.DegradedReason)
+			if len(vs) == 0 && len(e.Perm) == m.Rows {
+				if probe {
+					s.breaker.CancelProbe()
+				}
+				return resultFromEntry(e), nil
+			}
+		}
+	}
 	// Admission: try for a slot without waiting; if the wait queue has
 	// room, wait for a slot or the deadline; otherwise shed immediately —
 	// an overloaded server must answer 429 in microseconds, not enqueue
@@ -547,7 +714,7 @@ func (s *Server) runAdmitted(ctx context.Context, m *sparse.CSR, key string, pro
 	if probe && faultinject.Fire(faultinject.BreakerProbeFail) {
 		success = false
 	}
-	s.breaker.record(success, probe)
+	s.breaker.Record(success, probe)
 
 	if s.cfg.Cache != nil && !res.Degraded {
 		if err := s.cfg.Cache.Put(entryFromResult(key, res)); err != nil {

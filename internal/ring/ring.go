@@ -1,0 +1,165 @@
+// Package ring is a consistent-hash ring over the fleet's node names,
+// sharding the content-addressed plan cache (SHA-256 MatrixKeys) across N
+// bootesd peers.
+//
+// Properties the fleet layer depends on:
+//
+//   - Determinism across processes: point positions derive from SHA-256 of
+//     (node name, virtual-node index) and key positions from SHA-256 of the
+//     key, with no process-local seed — every node and every client computes
+//     the same owner and the same replica set for a key, so routing needs no
+//     coordination service.
+//   - Balance: each node projects Vnodes virtual points onto a 64-bit
+//     circle, smoothing per-node load to within a few percent of uniform
+//     (ring_test.go bounds the chi-square statistic).
+//   - Minimal movement: adding or removing a node only moves the keys whose
+//     clockwise successor changed — about 1/N of the keyspace — which is the
+//     property that makes rolling fleet resizes cheap (ring_test.go asserts
+//     both directions).
+//   - Replica sets: Replicas(key, n) walks clockwise collecting the first n
+//     distinct nodes, so replicas are deterministic, owner-first, and a
+//     node's failure promotes the next replica without recomputing anything.
+package ring
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVnodes is the virtual-node count per physical node. 128 keeps the
+// worst-case per-node load within ~±10% of uniform for small fleets while the
+// ring stays a few KB.
+const DefaultVnodes = 128
+
+// Ring is an immutable consistent-hash ring. Build with New; membership
+// changes build a new Ring (they are cheap and the fleet layer swaps the
+// pointer atomically).
+type Ring struct {
+	nodes  []string // sorted, deduplicated
+	vnodes int
+	points []point // sorted by (hash, node index, vnode index)
+}
+
+// point is one virtual node's position on the circle.
+type point struct {
+	hash uint64
+	node int32 // index into nodes
+	vn   int32 // vnode index, tie-break only
+}
+
+// New builds a ring over the given node names with vnodes virtual points per
+// node (<=0 uses DefaultVnodes). Names are deduplicated; at least one is
+// required. Node order does not matter: two processes given the same set in
+// any order build identical rings.
+func New(nodes []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	uniq := make(map[string]bool, len(nodes))
+	var sorted []string
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("ring: empty node name")
+		}
+		if !uniq[n] {
+			uniq[n] = true
+			sorted = append(sorted, n)
+		}
+	}
+	if len(sorted) == 0 {
+		return nil, fmt.Errorf("ring: no nodes")
+	}
+	sort.Strings(sorted)
+	r := &Ring{nodes: sorted, vnodes: vnodes}
+	r.points = make([]point, 0, len(sorted)*vnodes)
+	for ni, name := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{
+				hash: hash64(name + "#" + strconv.Itoa(v)),
+				node: int32(ni),
+				vn:   int32(v),
+			})
+		}
+	}
+	// Equal hashes are astronomically unlikely with SHA-256 but the sort must
+	// still be a total order for cross-process determinism.
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		return a.vn < b.vn
+	})
+	return r, nil
+}
+
+// hash64 maps s onto the circle: the first 8 bytes of SHA-256(s), big-endian.
+// SHA-256 rather than a seeded fast hash so every process agrees.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Nodes returns the ring's member names, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Len returns the number of physical nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Contains reports ring membership.
+func (r *Ring) Contains(node string) bool {
+	i := sort.SearchStrings(r.nodes, node)
+	return i < len(r.nodes) && r.nodes[i] == node
+}
+
+// Owner returns the node owning key: the first virtual point at or clockwise
+// of the key's position.
+func (r *Ring) Owner(key string) string {
+	return r.nodes[r.points[r.successor(key)].node]
+}
+
+// Replicas returns key's replica set: the first n distinct nodes walking
+// clockwise from the key's position, owner first. n is clamped to the node
+// count, so Replicas(key, len(nodes)) is a full preference order over the
+// fleet.
+func (r *Ring) Replicas(key string, n int) []string {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int32]bool, n)
+	start := r.successor(key)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, r.nodes[p.node])
+	}
+	return out
+}
+
+// successor finds the index of the first point with hash >= the key's hash,
+// wrapping past the top of the circle.
+func (r *Ring) successor(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}

@@ -1,0 +1,217 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func nodeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+func keyset(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		// Keys in production are hex SHA-256 MatrixKeys; synthetic keys are
+		// re-hashed by the ring anyway, so plain strings exercise the same path.
+		out[i] = fmt.Sprintf("matrix-key-%06d", i)
+	}
+	return out
+}
+
+// TestBalanceChiSquare bounds per-node load skew: with 8 nodes x 128 vnodes
+// and 20k keys, the chi-square statistic over the node-load histogram must
+// stay under a bound ~3x the empirically observed value — catching both a
+// broken point distribution (orders of magnitude larger) and an accidental
+// vnode-count regression, while never flaking (the statistic is
+// deterministic: fixed nodes, fixed keys, unseeded hash).
+func TestBalanceChiSquare(t *testing.T) {
+	const nodes, keys = 8, 20000
+	r, err := New(nodeNames(nodes), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int, nodes)
+	for _, k := range keyset(keys) {
+		counts[r.Owner(k)]++
+	}
+	if len(counts) != nodes {
+		t.Fatalf("only %d of %d nodes own any keys", len(counts), nodes)
+	}
+	expected := float64(keys) / nodes
+	chi2 := 0.0
+	minC, maxC := keys, 0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+		minC = min(minC, c)
+		maxC = max(maxC, c)
+	}
+	t.Logf("chi2=%.1f min=%d max=%d expected=%.0f", chi2, minC, maxC, expected)
+	// df=7; a uniform multinomial would sit near 7, consistent hashing's arc
+	// variance inflates it. Observed ~130 with 128 vnodes; a real imbalance
+	// (e.g. vnodes=1 scores >4000) blows far past the bound.
+	if chi2 > 700 {
+		t.Errorf("chi-square %.1f exceeds balance bound 700", chi2)
+	}
+	if ratio := float64(maxC) / float64(minC); ratio > 1.5 {
+		t.Errorf("max/min node load ratio %.2f exceeds 1.5", ratio)
+	}
+}
+
+// TestMinimalMovementOnJoin: adding a node moves only ~1/(N+1) of the keys,
+// and every moved key moves TO the new node — no key shuffles between
+// surviving nodes.
+func TestMinimalMovementOnJoin(t *testing.T) {
+	const keys = 10000
+	before, err := New(nodeNames(8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := append(nodeNames(8), "http://10.0.0.99:8080")
+	after, err := New(joined, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, k := range keyset(keys) {
+		a, b := before.Owner(k), after.Owner(k)
+		if a == b {
+			continue
+		}
+		moved++
+		if b != "http://10.0.0.99:8080" {
+			t.Fatalf("key %s moved %s -> %s, not to the joining node", k, a, b)
+		}
+	}
+	frac := float64(moved) / keys
+	t.Logf("join moved %d/%d keys (%.1f%%, ideal %.1f%%)", moved, keys, 100*frac, 100.0/9)
+	if frac < 0.05 || frac > 0.20 {
+		t.Errorf("join moved %.1f%% of keys, want roughly 1/9 (5%%..20%%)", 100*frac)
+	}
+}
+
+// TestMinimalMovementOnLeave: removing a node moves only that node's keys,
+// each to a surviving node; every other assignment is untouched.
+func TestMinimalMovementOnLeave(t *testing.T) {
+	const keys = 10000
+	all := nodeNames(8)
+	gone := all[3]
+	before, err := New(all, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := New(append(append([]string{}, all[:3]...), all[4:]...), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, k := range keyset(keys) {
+		a, b := before.Owner(k), after.Owner(k)
+		if a != gone {
+			if a != b {
+				t.Fatalf("key %s on surviving node moved %s -> %s", k, a, b)
+			}
+			continue
+		}
+		moved++
+		if b == gone {
+			t.Fatalf("key %s still owned by the removed node", k)
+		}
+	}
+	t.Logf("leave moved %d/%d keys (%.1f%%, ideal %.1f%%)", moved, keys, 100*float64(moved)/keys, 100.0/8)
+}
+
+// TestReplicaSetProperties: replicas are distinct, owner-first, stable under
+// node-list permutation, and clamp to the fleet size.
+func TestReplicaSetProperties(t *testing.T) {
+	nodes := nodeNames(5)
+	r, err := New(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same membership in a different insertion order: identical ring.
+	shuffled := []string{nodes[3], nodes[0], nodes[4], nodes[2], nodes[1]}
+	r2, err := New(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keyset(500) {
+		reps := r.Replicas(k, 3)
+		if len(reps) != 3 {
+			t.Fatalf("key %s: %d replicas, want 3", k, len(reps))
+		}
+		if reps[0] != r.Owner(k) {
+			t.Fatalf("key %s: replica[0]=%s != owner %s", k, reps[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, n := range reps {
+			if seen[n] {
+				t.Fatalf("key %s: duplicate replica %s", k, n)
+			}
+			seen[n] = true
+		}
+		if got := r2.Replicas(k, 3); got[0] != reps[0] || got[1] != reps[1] || got[2] != reps[2] {
+			t.Fatalf("key %s: replica set differs across node orderings: %v vs %v", k, got, reps)
+		}
+		if full := r.Replicas(k, 99); len(full) != len(nodes) {
+			t.Fatalf("key %s: over-asking returned %d replicas, want %d", k, len(full), len(nodes))
+		}
+	}
+}
+
+// TestDeterministicAcrossProcesses pins exact owner/replica assignments for a
+// handful of keys. These constants were computed once and must never change:
+// peers and clients in *different processes* (and different releases) route by
+// agreeing on these values, so a drift here is a fleet-wide cache miss storm
+// and a routing split-brain.
+func TestDeterministicAcrossProcesses(t *testing.T) {
+	r, err := New([]string{"http://a:1", "http://b:1", "http://c:1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := map[string][]string{
+		"k-alpha": pinAlpha,
+		"k-beta":  pinBeta,
+		"k-gamma": pinGamma,
+	}
+	for key, want := range pinned {
+		got := r.Replicas(key, 2)
+		if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+			t.Errorf("Replicas(%q, 2) = %v, want %v (cross-process routing contract broken)", key, got, want)
+		}
+	}
+}
+
+// The pinned routing contract for TestDeterministicAcrossProcesses.
+var (
+	pinAlpha = []string{"http://a:1", "http://c:1"}
+	pinBeta  = []string{"http://c:1", "http://b:1"}
+	pinGamma = []string{"http://a:1", "http://b:1"}
+)
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Error("New accepted an empty node list")
+	}
+	if _, err := New([]string{"a", ""}, 0); err == nil {
+		t.Error("New accepted an empty node name")
+	}
+	r, err := New([]string{"a", "a", "a"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Errorf("duplicates not collapsed: Len=%d", r.Len())
+	}
+	if !r.Contains("a") || r.Contains("b") {
+		t.Error("Contains is wrong")
+	}
+	if got := r.Owner("anything"); got != "a" {
+		t.Errorf("single-node ring owner = %q", got)
+	}
+}
