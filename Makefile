@@ -23,8 +23,9 @@
 #                  faults armed (including queue-crash, tenant-storm, and
 #                  fleet-partition), asserting the global invariants after
 #                  each, plus the dense QUEUE_EPISODES (default 2000)
-#                  queue-crash-only soak and the FLEET_EPISODES (default 200)
-#                  fleet-partition-only kill/restart soak
+#                  queue-crash-only soak, the FLEET_EPISODES (default 200)
+#                  fleet-partition kill/restart soak, and the HEAL_EPISODES
+#                  (default 200) self-healing kill/restart/converge soak
 #   make soak    — cmd/loadgen against a spawned 3-node in-process fleet:
 #                  SOAK_DURATION of SOAK_QPS traffic, then latency/shed SLOs
 #                  asserted from the fleet's own /metrics
@@ -42,6 +43,7 @@ CHAOS_EPISODES ?= 2000
 CHAOS_SEED ?= 20250806
 QUEUE_EPISODES ?= 2000
 FLEET_EPISODES ?= 200
+HEAL_EPISODES ?= 200
 SOAK_DURATION ?= 30s
 SOAK_QPS ?= 100
 
@@ -81,7 +83,7 @@ race:
 race-serve:
 	GOMAXPROCS=4 $(GO) test -race -count=2 -timeout 10m \
 		./internal/plancache/... ./internal/planserve/ ./internal/planqueue/ ./internal/obs/ \
-		./internal/ring/ ./internal/fleet/
+		./internal/ring/ ./internal/fleet/ ./internal/antientropy/
 
 # Seed-corpus-only pass: every fuzz target replays its checked-in corpus as
 # plain tests (no mutation engine), so check catches corpus regressions fast.
@@ -97,9 +99,10 @@ chaos-short:
 # tenant-storm scenarios) plus the dense queue-crash-only crash/restart soak.
 # Reproduce a red run with: make chaos CHAOS_SEED=<seed>.
 chaos:
-	$(GO) test ./internal/chaos/ -run 'TestChaosEpisodes|TestQueueCrashSoak|TestFleetPartitionSoak' -count=1 -v -timeout 60m \
+	$(GO) test ./internal/chaos/ -run 'TestChaosEpisodes|TestQueueCrashSoak|TestFleetPartitionSoak|TestFleetHealSoak' -count=1 -v -timeout 60m \
 		-chaos.episodes=$(CHAOS_EPISODES) -chaos.seed=$(CHAOS_SEED) \
-		-chaos.queue-episodes=$(QUEUE_EPISODES) -chaos.fleet-episodes=$(FLEET_EPISODES)
+		-chaos.queue-episodes=$(QUEUE_EPISODES) -chaos.fleet-episodes=$(FLEET_EPISODES) \
+		-chaos.heal-episodes=$(HEAL_EPISODES)
 
 # Fleet soak: spawn a 3-node in-process fleet, drive it at SOAK_QPS for
 # SOAK_DURATION, and fail on a latency/shed SLO breach measured from the

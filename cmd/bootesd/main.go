@@ -10,6 +10,8 @@
 //	POST /v1/plan?async=1                      enqueue for async planning (202 + job id)
 //	GET  /v1/jobs/{id}                         poll an async job
 //	GET  /v1/cache/{key}                       raw cached entry (fleet peer fill)
+//	PUT  /v1/cache/{key}                       verified replica ingest (only with -self-heal)
+//	GET  /v1/cache/digest                      key -> (size, CRC) cache summary for anti-entropy
 //	GET  /v1/peers                             fleet health view (only with -peers)
 //	GET  /healthz                              liveness
 //	GET  /readyz                               admission (503 while draining)
@@ -43,6 +45,7 @@ import (
 	"time"
 
 	"bootes"
+	"bootes/internal/antientropy"
 	"bootes/internal/fleet"
 	"bootes/internal/obs"
 	"bootes/internal/plancache"
@@ -90,6 +93,10 @@ func main() {
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "fleet peer health-probe period")
 	probeTimeout := flag.Duration("probe-timeout", time.Second, "per-probe (and per-cache-fill) timeout")
 	downAfter := flag.Int("down-after", 2, "consecutive probe/forward failures before a peer is routed around")
+	selfHeal := flag.Bool("self-heal", false, "enable anti-entropy self-healing: plan replication, hinted handoff, digest repair, warm-up, scrubbing (requires -peers and -cache)")
+	repairInterval := flag.Duration("repair-interval", 30*time.Second, "anti-entropy digest-exchange repair period")
+	scrubInterval := flag.Duration("scrub-interval", 5*time.Second, "background scrub pacing, one cache entry per tick")
+	warmupDeadline := flag.Duration("warmup-deadline", 5*time.Second, "bound on the pre-ready warm-up that streams owned keys from replicas")
 	flag.Parse()
 
 	simMode, err := bootes.ParseSimilarityMode(*similarity)
@@ -175,6 +182,34 @@ func main() {
 		}
 	}
 
+	// Self-healing rides on fleet mode: the healer shares the router's ring
+	// and health view, replicates fresh plans across each key's replica set,
+	// parks hints for down replicas, and repairs divergence in the background.
+	var healer *antientropy.Healer
+	if *selfHeal {
+		if router == nil {
+			log.Fatal("-self-heal requires -peers: anti-entropy repairs replicas on the fleet ring")
+		}
+		if cache == nil {
+			log.Fatal("-self-heal requires -cache: there is nothing to repair without a persistent plan cache")
+		}
+		healer, err = antientropy.New(antientropy.Config{
+			Cache:          cache,
+			Ring:           router.Ring,
+			Self:           *selfURL,
+			Replicas:       *replicas,
+			PeerUp:         router.PeerUp,
+			RepairInterval: *repairInterval,
+			ScrubInterval:  *scrubInterval,
+			Metrics:        obs.Default(),
+			Logf:           log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		router.SetOnPeerUp(healer.NotifyPeerUp)
+	}
+
 	cfg := planserve.Config{
 		Plan:            planFunc(model, *seed, simMode),
 		Cache:           cache,
@@ -196,6 +231,10 @@ func main() {
 	}
 	if router != nil {
 		cfg.PeerFill = router.Fill
+	}
+	if healer != nil {
+		cfg.Replicate = healer.Replicate
+		cfg.Heal = healer
 	}
 	srv, err := planserve.New(cfg)
 	if err != nil {
@@ -236,10 +275,28 @@ func main() {
 		ReadTimeout:       *readTimeout,
 		IdleTimeout:       *idleTimeout,
 	}
+	// Warming is flagged before the listener serves its first request, so
+	// there is no window where /readyz answers 200 with the owned ranges
+	// still unfetched. The warm-up itself runs after the listener is up: the
+	// cache data plane (digests, entry reads, pushes) serves throughout.
+	if healer != nil {
+		srv.SetWarming(true)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("serving on %s (inflight=%d queue auto, deadline=%s, cache=%q)",
 		*addr, *maxInFlight, *deadline, *cacheDir)
+	if healer != nil {
+		wctx, wcancel := context.WithTimeout(context.Background(), *warmupDeadline)
+		if n := healer.Warmup(wctx); n > 0 {
+			log.Printf("self-heal: warmed %d owned entries from replicas before ready", n)
+		}
+		wcancel()
+		srv.SetWarming(false)
+		healer.Start()
+		log.Printf("self-heal: repair every %s, scrub every %s, %d hints pending",
+			*repairInterval, *scrubInterval, healer.HintsPending())
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
@@ -264,6 +321,13 @@ func main() {
 	}
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("drain incomplete: %v", err)
+	}
+	// Drain push after the plan pipelines settle: entries only this node
+	// holds are handed to the other replicas while the listener still
+	// answers their verification reads.
+	if healer != nil {
+		healer.DrainPush(ctx)
+		healer.Stop()
 	}
 	// The queue drains after the HTTP layer: no new submissions can arrive,
 	// workers finish their current job, and the shutdown checkpoint compacts

@@ -70,18 +70,24 @@ func main() {
 		sloP99   = flag.Duration("p99", 2*time.Second, "p99 serve-latency SLO (0 disables)")
 		maxShed  = flag.Float64("max-shed", 0.05, "maximum tolerated shed rate (fraction; negative disables)")
 		misroute = flag.Bool("misroute", false, "fail if any response is served outside the key's replica set")
+		killOne  = flag.Bool("kill-one", false, "churn mode (requires -spawn): kill and restart a random node mid-soak, assert total computes <= matrices + crashes")
 	)
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
-	urls, cleanup, err := resolveFleet(*peers, *spawn, *replicas, *seed)
+	var computes atomic.Int64
+	urls, cluster, cleanup, err := resolveFleet(*peers, *spawn, *replicas, *seed, *killOne, &computes)
 	if err != nil {
 		log.Print(err)
 		os.Exit(2)
 	}
 	defer cleanup()
+	if *killOne && cluster == nil {
+		log.Print("-kill-one requires -spawn: churn needs in-process node handles")
+		os.Exit(2)
+	}
 
 	work, err := buildWorkingSet(urls, *matrices, *rows, *seed, *replicas)
 	if err != nil {
@@ -91,43 +97,98 @@ func main() {
 
 	client := &http.Client{Timeout: *timeout}
 	defer client.CloseIdleConnections()
+	churnDone := make(chan int, 1)
+	if *killOne {
+		go churnOne(cluster, *duration, *seed, churnDone)
+	}
 	agg := drive(ctx, client, work, *workers, *qps, *duration)
+	crashes := 0
+	if *killOne {
+		crashes = <-churnDone // restart completed; safe to scrape every node
+	}
 
 	scraped, scrapeErr := scrapeFleet(client, urls)
 
 	breached := report(os.Stdout, agg, scraped, scrapeErr, *sloP99, *maxShed, *misroute)
+	if *killOne {
+		// The self-healing bar: a crash is absorbed by replicas and hinted
+		// handoff, so at most one extra pipeline run per crash is tolerated
+		// fleet-wide (a write racing the kill can lose its only copy).
+		total := computes.Load()
+		budget := int64(*matrices + crashes)
+		fmt.Printf("churn      %d crash(es), %d pipeline computes (budget %d = matrices + crashes)\n",
+			crashes, total, budget)
+		if total > budget {
+			fmt.Printf("FAIL       recompute budget exceeded: the fleet re-planned work a replica already held\n")
+			breached = true
+		}
+	}
 	if breached {
 		os.Exit(1)
 	}
 }
 
+// churnOne kills one random node a third of the way into the soak and
+// restarts it (with warm-up) another third later, reporting the crash count.
+func churnOne(cluster *fleet.Cluster, duration time.Duration, seed int64, done chan<- int) {
+	rng := rand.New(rand.NewSource(seed ^ 0x6b696c6c))
+	time.Sleep(duration / 3)
+	nd := cluster.Nodes[rng.Intn(len(cluster.Nodes))]
+	log.Printf("churn: killing %s", nd.URL)
+	nd.Kill()
+	time.Sleep(duration / 3)
+	if err := nd.Restart(); err != nil {
+		log.Printf("churn: restarting %s: %v", nd.URL, err)
+	} else {
+		log.Printf("churn: restarted %s (warm-up complete)", nd.URL)
+	}
+	done <- 1
+}
+
 // resolveFleet returns the base URLs to load, spawning an in-process fleet
-// when asked. The cleanup func tears the spawned fleet down.
-func resolveFleet(peers string, spawn, replicas int, seed int64) ([]string, func(), error) {
+// when asked (non-nil cluster). The cleanup func tears the spawned fleet
+// down. Spawned pipelines report into computes so churn mode can assert the
+// fleet-wide recompute budget.
+func resolveFleet(peers string, spawn, replicas int, seed int64, selfHeal bool, computes *atomic.Int64) ([]string, *fleet.Cluster, func(), error) {
 	if (peers == "") == (spawn == 0) {
-		return nil, nil, fmt.Errorf("exactly one of -peers or -spawn is required")
+		return nil, nil, nil, fmt.Errorf("exactly one of -peers or -spawn is required")
 	}
 	if spawn > 0 {
 		dir, err := os.MkdirTemp("", "loadgen-fleet-")
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		c, err := fleet.LaunchCluster(spawn, fleet.ClusterOptions{
-			Plan:     realPlan(seed),
+		plan := realPlan(seed)
+		opts := fleet.ClusterOptions{
+			Plan: func(ctx context.Context, m *sparse.CSR, attempt int) (*reorder.Result, error) {
+				computes.Add(1)
+				return plan(ctx, m, attempt)
+			},
 			Dir:      dir,
 			Replicas: replicas,
 			Seed:     seed,
-		})
+		}
+		if selfHeal {
+			// Churn mode needs the outage absorbed within the soak window:
+			// fast down-detection, anti-entropy replication/hints, and a
+			// bounded warm-up on the restart.
+			opts.SelfHeal = true
+			opts.ProbeInterval = 200 * time.Millisecond
+			opts.DownAfter = 2
+			opts.RepairInterval = 500 * time.Millisecond
+			opts.WarmupDeadline = 3 * time.Second
+		}
+		c, err := fleet.LaunchCluster(spawn, opts)
 		if err != nil {
 			os.RemoveAll(dir)
-			return nil, nil, fmt.Errorf("spawning fleet: %w", err)
+			return nil, nil, nil, fmt.Errorf("spawning fleet: %w", err)
 		}
-		log.Printf("spawned %d-node fleet: %s", spawn, strings.Join(c.URLs(), " "))
+		log.Printf("spawned %d-node fleet (self-heal=%v): %s", spawn, selfHeal, strings.Join(c.URLs(), " "))
 		cleanup := func() {
 			c.Close()
 			os.RemoveAll(dir)
 		}
-		return c.URLs(), cleanup, nil
+		return c.URLs(), c, cleanup, nil
 	}
 	var urls []string
 	for _, p := range strings.Split(peers, ",") {
@@ -136,9 +197,9 @@ func resolveFleet(peers string, spawn, replicas int, seed int64) ([]string, func
 		}
 	}
 	if len(urls) == 0 {
-		return nil, nil, fmt.Errorf("-peers is empty")
+		return nil, nil, nil, fmt.Errorf("-peers is empty")
 	}
-	return urls, func() {}, nil
+	return urls, nil, func() {}, nil
 }
 
 // realPlan is the production pipeline (no learned model), matching what

@@ -413,6 +413,7 @@ var scenarios = []scenario{
 	{"queue-crash", false, scenarioQueueCrash},
 	{"tenant-storm", false, scenarioTenantStorm},
 	{"fleet-partition", false, scenarioFleetPartition},
+	{"fleet-heal", false, scenarioFleetHeal},
 }
 
 // scenarioPlanDirect drives bootes.PlanContext (verification always on)

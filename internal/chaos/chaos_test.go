@@ -18,6 +18,7 @@ var (
 	seed          = flag.Int64("chaos.seed", 20250806, "chaos schedule seed")
 	queueEpisodes = flag.Int("chaos.queue-episodes", 500, "episodes for TestQueueCrashSoak")
 	fleetEpisodes = flag.Int("chaos.fleet-episodes", 12, "episodes for TestFleetPartitionSoak")
+	healEpisodes  = flag.Int("chaos.heal-episodes", 12, "episodes for TestFleetHealSoak (make chaos raises this via HEAL_EPISODES)")
 )
 
 // TestChaosEpisodes is the always-on short run: every `go test` executes the
@@ -171,6 +172,35 @@ func TestFleetPartitionSoak(t *testing.T) {
 		t.Fatalf("Only filter leaked: scenarios=%v", rep.Scenarios)
 	}
 	t.Logf("fleet-partition soak: %d episodes, healthy=%d degraded=%d refused=%d",
+		rep.Episodes, rep.Healthy, rep.DegradedPlans, rep.Refused)
+}
+
+// TestFleetHealSoak drills the self-healing cycle: kill a replica, write
+// through the survivors (parking hints), restart it, and require exact
+// convergence — warmed owned ranges before ready, hints drained, replica
+// digests byte-identical, zero recomputes. The acceptance bar is ≥200
+// episodes (make chaos, HEAL_EPISODES knob); the default keeps plain
+// `go test` fast.
+func TestFleetHealSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet-heal soak skipped in -short mode")
+	}
+	rep, err := Run(Config{
+		Seed:     *seed,
+		Episodes: *healEpisodes,
+		Dir:      t.TempDir(),
+		Only:     "fleet-heal",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("seed %d: self-healing invariants broke:\n%s", *seed, strings.Join(rep.Violations, "\n"))
+	}
+	if rep.Scenarios["fleet-heal"] != rep.Episodes {
+		t.Fatalf("Only filter leaked: scenarios=%v", rep.Scenarios)
+	}
+	t.Logf("fleet-heal soak: %d episodes, healthy=%d degraded=%d refused=%d",
 		rep.Episodes, rep.Healthy, rep.DegradedPlans, rep.Refused)
 }
 

@@ -37,6 +37,7 @@ const fleetNodes = 3
 // plan wrapper reports into.
 type fleetHarness struct {
 	e        *episode
+	name     string // scenario name, prefixes violation messages
 	cluster  *fleet.Cluster
 	ring     *ring.Ring
 	replicas int
@@ -91,7 +92,7 @@ func (h *fleetHarness) plan(_ context.Context, m *sparse.CSR, _ int) (*reorder.R
 		}
 		if c := nd.Cache(); c != nil {
 			if _, ok := c.Peek(key); ok {
-				h.e.violatef("fleet-partition: recomputing %.12s while up replica %s already holds it", key, rep)
+				h.e.violatef("%s: recomputing %.12s while up replica %s already holds it", h.name, key, rep)
 			}
 		}
 	}
@@ -141,7 +142,7 @@ func (h *fleetHarness) waitUntil(what string, cond func() bool) bool {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	h.violatef("fleet-partition: timed out waiting for %s", what)
+	h.violatef("%s: timed out waiting for %s", h.name, what)
 	return false
 }
 
@@ -181,7 +182,7 @@ func (h *fleetHarness) peersSee(target string, wantUp bool) bool {
 // while requests are still flowing, keep serving through the survivors, then
 // restart the owner and verify the fleet converges back to pure cache hits.
 func scenarioFleetPartition(e *episode) {
-	h := &fleetHarness{e: e, replicas: 2, up: make(map[string]bool), computes: make(map[string]int)}
+	h := &fleetHarness{e: e, name: "fleet-partition", replicas: 2, up: make(map[string]bool), computes: make(map[string]int)}
 	c, err := fleet.LaunchCluster(fleetNodes, fleet.ClusterOptions{
 		Plan:     h.plan,
 		Dir:      filepath.Join(e.dir, "fleet"),
@@ -343,7 +344,7 @@ func (h *fleetHarness) burst(client *http.Client, bodies [][]byte, rows []int, n
 		case http.StatusOK:
 			var pr planserve.PlanResponse
 			if err := json.Unmarshal(out.body, &pr); err != nil {
-				h.violatef("fleet-partition: unparseable 200 body: %v", err)
+				h.violatef("%s: unparseable 200 body: %v", h.name, err)
 				continue
 			}
 			h.checkShape(out.rows, &pr)
@@ -353,7 +354,7 @@ func (h *fleetHarness) burst(client *http.Client, bodies [][]byte, rows []int, n
 			h.e.rep.Refused++
 			h.mu.Unlock()
 		default:
-			h.violatef("fleet-partition: unexpected status %d: %.200s", out.code, out.body)
+			h.violatef("%s: unexpected status %d: %.200s", h.name, out.code, out.body)
 		}
 	}
 }
@@ -365,7 +366,7 @@ func (h *fleetHarness) checkShape(rows int, pr *planserve.PlanResponse) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if len(vs) > 0 {
-		h.e.violatef("fleet-partition: invalid plan served: %v", vs)
+		h.e.violatef("%s: invalid plan served: %v", h.name, vs)
 		return
 	}
 	if pr.Degraded {
@@ -380,11 +381,11 @@ func (h *fleetHarness) checkShape(rows int, pr *planserve.PlanResponse) {
 func (h *fleetHarness) sweepNodeCache(dir string) {
 	c, err := plancache.Open(dir)
 	if err != nil {
-		h.violatef("fleet-partition: cache sweep %s: %v", dir, err)
+		h.violatef("%s: cache sweep %s: %v", h.name, dir, err)
 		return
 	}
 	if q := c.Stats().Quarantined; q != 0 {
-		h.violatef("fleet-partition: %d entries quarantined in %s after crash cycle", q, dir)
+		h.violatef("%s: %d entries quarantined in %s after crash cycle", h.name, q, dir)
 	}
 	for _, key := range c.Keys() {
 		entry, ok := c.Get(key)
@@ -392,7 +393,7 @@ func (h *fleetHarness) sweepNodeCache(dir string) {
 			continue
 		}
 		if vs := planverify.CheckEntryFields(entry.Perm, entry.K, entry.Reordered, entry.Degraded, entry.DegradedReason); len(vs) > 0 {
-			h.violatef("fleet-partition: cache entry %.12s invalid after crash cycle: %v", key, vs)
+			h.violatef("%s: cache entry %.12s invalid after crash cycle: %v", h.name, key, vs)
 		}
 	}
 }

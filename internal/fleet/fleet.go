@@ -105,15 +105,17 @@ type peerState struct {
 	lastErr     string
 }
 
-func (p *peerState) noteSuccess() {
+func (p *peerState) noteSuccess() (wentUp bool) {
 	p.mu.Lock()
 	p.consecFails = 0
 	p.lastErr = ""
 	if !p.isUp {
 		p.isUp = true
+		wentUp = true
 	}
 	p.up.Set(1)
 	p.mu.Unlock()
+	return wentUp
 }
 
 func (p *peerState) noteFailure(downAfter int, reason string) (wentDown bool) {
@@ -150,12 +152,23 @@ type Router struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 
+	// onPeerUp, when set, is called with a peer's URL each time this node's
+	// health view of it transitions down→up (probe or live traffic). The
+	// anti-entropy healer hooks it to deliver parked hints the moment a
+	// crashed replica returns. Set once during assembly via SetOnPeerUp;
+	// called from prober and request goroutines, so it must be cheap and
+	// non-blocking.
+	onPeerUpMu sync.Mutex
+	onPeerUp   func(peer string)
+
 	probes, probeFails     *obs.Counter
 	forwards, forwardFails *obs.Counter
 	hedges, hedgeWins      *obs.Counter
 	fills, fillMisses      *obs.Counter
 	localFallbacks         *obs.Counter
 	redirects              *obs.Counter
+	transitions            *obs.CounterVec
+	probeLatency           *obs.Histogram
 	peerUp                 *obs.GaugeVec
 }
 
@@ -239,15 +252,52 @@ func (rt *Router) registerMetrics(reg *obs.Registry) {
 	rt.fillMisses = reg.Counter("bootes_fleet_peer_fill_misses_total", "Peer cache-fill rounds that found no sibling copy.")
 	rt.localFallbacks = reg.Counter("bootes_fleet_local_fallbacks_total", "Requests served locally after every remote replica failed.")
 	rt.redirects = reg.Counter("bootes_fleet_redirects_total", "Clients redirected to the owning node (route=redirect).")
+	rt.transitions = reg.CounterVec("bootes_fleet_peer_transitions_total",
+		"Peer health-state transitions as seen by this node; a flapping peer shows both directions climbing.", "to")
+	rt.probeLatency = reg.Histogram("bootes_fleet_probe_latency_seconds",
+		"Round-trip time of peer /readyz health probes.", probeLatencyBuckets)
 	rt.peerUp = reg.GaugeVec("bootes_fleet_peer_up", "Peer health as seen by this node: 1 up, 0 down.", "peer")
 	reg.GaugeFunc("bootes_fleet_ring_nodes", "Nodes on the consistent-hash ring.", func() int64 {
 		return int64(rt.ring.Len())
 	})
 }
 
+// probeLatencyBuckets spans loopback probes through WAN round trips; the
+// ProbeTimeout default (1s) caps the histogram's reach.
+var probeLatencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
+
 // Ring exposes the router's ring (clients and tests route against the same
 // assignments this node uses).
 func (rt *Router) Ring() *ring.Ring { return rt.ring }
+
+// PeerUp reports this node's current health view of peer. Self is always up
+// (a node that can ask is serving); unknown peers are down.
+func (rt *Router) PeerUp(peer string) bool {
+	if peer == rt.cfg.Self {
+		return true
+	}
+	p, ok := rt.peers[peer]
+	return ok && p.upNow()
+}
+
+// SetOnPeerUp installs the down→up transition hook (see the field comment).
+// Call during assembly, before Start.
+func (rt *Router) SetOnPeerUp(fn func(peer string)) {
+	rt.onPeerUpMu.Lock()
+	rt.onPeerUp = fn
+	rt.onPeerUpMu.Unlock()
+}
+
+// notePeerUp records an up-transition: the metric, and the hook if set.
+func (rt *Router) notePeerUp(peer string) {
+	rt.transitions.With("up").Inc()
+	rt.onPeerUpMu.Lock()
+	fn := rt.onPeerUp
+	rt.onPeerUpMu.Unlock()
+	if fn != nil {
+		fn(peer)
+	}
+}
 
 // Start launches the background health prober.
 func (rt *Router) Start() {
@@ -285,9 +335,13 @@ func (rt *Router) probeAll() {
 		}
 		p := rt.peers[peer]
 		rt.probes.Inc()
-		if err := rt.probeOne(p); err != nil {
+		start := time.Now()
+		err := rt.probeOne(p)
+		rt.probeLatency.Observe(time.Since(start).Seconds())
+		if err != nil {
 			rt.probeFails.Inc()
 			if p.noteFailure(rt.cfg.DownAfter, err.Error()) {
+				rt.transitions.With("down").Inc()
 				rt.cfg.Logf("fleet: peer %s marked down: %v", peer, err)
 			}
 		} else {
@@ -298,7 +352,9 @@ func (rt *Router) probeAll() {
 				p.breaker.Reset()
 				rt.cfg.Logf("fleet: peer %s recovered", peer)
 			}
-			p.noteSuccess()
+			if p.noteSuccess() {
+				rt.notePeerUp(peer)
+			}
 		}
 	}
 }
@@ -577,7 +633,9 @@ func (c *cancelOnClose) Close() error {
 func (rt *Router) recordOutcome(p *peerState, probe, success bool, err error) {
 	p.breaker.Record(success, probe)
 	if success {
-		p.noteSuccess()
+		if p.noteSuccess() {
+			rt.notePeerUp(p.url)
+		}
 		return
 	}
 	reason := "5xx"
@@ -585,6 +643,7 @@ func (rt *Router) recordOutcome(p *peerState, probe, success bool, err error) {
 		reason = err.Error()
 	}
 	if p.noteFailure(rt.cfg.DownAfter, reason) {
+		rt.transitions.With("down").Inc()
 		rt.cfg.Logf("fleet: peer %s marked down after forward failure: %s", p.url, reason)
 	}
 }

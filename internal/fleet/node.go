@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"bootes/internal/antientropy"
 	"bootes/internal/obs"
 	"bootes/internal/plancache"
 	"bootes/internal/planserve"
@@ -44,6 +45,18 @@ type ClusterOptions struct {
 	Breaker planserve.BreakerConfig
 	// Seed feeds each node's planserve jitter (node i gets Seed+i).
 	Seed int64
+	// SelfHeal enables the anti-entropy healer on every node: synchronous
+	// replication of fresh plans across the replica set, hinted handoff for
+	// down replicas, digest-exchange repair, warm-up on restart, drain push
+	// on Close, and the background scrubber.
+	SelfHeal bool
+	// RepairInterval / ScrubInterval pace the healer's loops (zero takes the
+	// antientropy defaults; chaos runs them at millisecond scale).
+	RepairInterval time.Duration
+	ScrubInterval  time.Duration
+	// WarmupDeadline bounds the pre-ready warm-up on start/restart (only
+	// with SelfHeal; zero takes 5s).
+	WarmupDeadline time.Duration
 	// Logf sinks node diagnostics; nil discards (cluster logs are noisy).
 	Logf func(format string, args ...any)
 }
@@ -64,6 +77,7 @@ type Node struct {
 	srv    *planserve.Server
 	router *Router
 	cache  *plancache.Cache
+	healer *antientropy.Healer
 	http   *http.Server
 	reg    *obs.Registry
 	alive  bool
@@ -109,7 +123,10 @@ func LaunchCluster(n int, opts ClusterOptions) (*Cluster, error) {
 			seed:  opts.Seed + int64(i),
 			logf:  opts.Logf,
 		}
-		if err := node.start(ln); err != nil {
+		// First launch of the whole fleet: every peer is empty and later
+		// nodes are not yet serving, so the join warm-up is skipped.
+		// Restart is the warm-up path.
+		if err := node.start(ln, false); err != nil {
 			c.Close()
 			return nil, err
 		}
@@ -118,8 +135,10 @@ func LaunchCluster(n int, opts ClusterOptions) (*Cluster, error) {
 	return c, nil
 }
 
-// start assembles the node's stack on ln and begins serving.
-func (nd *Node) start(ln net.Listener) error {
+// start assembles the node's stack on ln and begins serving. warm runs the
+// pre-ready warm-up (rejoin); the cluster's first launch skips it — every
+// peer is empty and some are not serving yet.
+func (nd *Node) start(ln net.Listener, warm bool) error {
 	if err := os.MkdirAll(nd.dir, 0o755); err != nil {
 		return err
 	}
@@ -143,7 +162,25 @@ func (nd *Node) start(ln net.Listener) error {
 	if err != nil {
 		return err
 	}
-	srv, err := planserve.New(planserve.Config{
+	var healer *antientropy.Healer
+	if nd.opts.SelfHeal {
+		healer, err = antientropy.New(antientropy.Config{
+			Cache:          cache,
+			Ring:           router.Ring,
+			Self:           nd.URL,
+			Replicas:       nd.opts.Replicas,
+			PeerUp:         router.PeerUp,
+			RepairInterval: nd.opts.RepairInterval,
+			ScrubInterval:  nd.opts.ScrubInterval,
+			Metrics:        reg,
+			Logf:           nd.logf,
+		})
+		if err != nil {
+			return err
+		}
+		router.SetOnPeerUp(healer.NotifyPeerUp)
+	}
+	cfg := planserve.Config{
 		Plan:        nd.opts.Plan,
 		Cache:       cache,
 		MaxInFlight: nd.opts.MaxInFlight,
@@ -152,17 +189,48 @@ func (nd *Node) start(ln net.Listener) error {
 		Seed:        nd.seed,
 		Metrics:     reg,
 		Logf:        nd.logf,
-	})
+	}
+	if healer != nil {
+		cfg.Replicate = healer.Replicate
+		cfg.Heal = healer
+	}
+	srv, err := planserve.New(cfg)
 	if err != nil {
 		return err
 	}
 	httpSrv := &http.Server{Handler: router.Handler(srv.Handler())}
 	nd.mu.Lock()
-	nd.srv, nd.router, nd.cache, nd.http, nd.reg = srv, router, cache, httpSrv, reg
+	nd.srv, nd.router, nd.cache, nd.healer, nd.http, nd.reg = srv, router, cache, healer, httpSrv, reg
 	nd.alive = true
 	nd.mu.Unlock()
+	warmup := healer != nil && warm
+	if warmup {
+		// Flag warming before the listener serves its first request: there
+		// must be no window where /readyz answers 200 with the owned ranges
+		// still unfetched.
+		srv.SetWarming(true)
+	}
 	router.Start()
 	go func() { _ = httpSrv.Serve(ln) }()
+	if healer != nil {
+		if warmup {
+			// Warm-up before readiness: stream this node's owned keys from
+			// its current replicas while /readyz answers 503, bounded by the
+			// warm-up deadline. Synchronous — when start returns, the node
+			// has converged as far as its replicas allow.
+			deadline := nd.opts.WarmupDeadline
+			if deadline <= 0 {
+				deadline = 5 * time.Second
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), deadline)
+			if n := healer.Warmup(ctx); n > 0 {
+				nd.logf("fleet: node %s warmed %d entries before ready", nd.URL, n)
+			}
+			cancel()
+			srv.SetWarming(false)
+		}
+		healer.Start()
+	}
 	return nil
 }
 
@@ -173,12 +241,17 @@ func (nd *Node) Kill() {
 	nd.mu.Lock()
 	alive := nd.alive
 	nd.alive = false
-	httpSrv, router := nd.http, nd.router
+	httpSrv, router, healer := nd.http, nd.router, nd.healer
 	nd.mu.Unlock()
 	if !alive {
 		return
 	}
 	router.Stop()
+	if healer != nil {
+		// The process dies; its goroutines must still join (leakcheck). Parked
+		// hints survive on disk — that is the point of hints.
+		healer.Stop()
+	}
 	_ = httpSrv.Close()
 }
 
@@ -205,7 +278,7 @@ func (nd *Node) Restart() error {
 	if err != nil {
 		return fmt.Errorf("fleet: rebinding %s: %w", addr, err)
 	}
-	return nd.start(ln)
+	return nd.start(ln, true)
 }
 
 // Alive reports whether the node is serving.
@@ -235,6 +308,17 @@ func (nd *Node) Router() *Router {
 	return nd.router
 }
 
+// Healer returns the node's anti-entropy healer (nil while killed or when
+// SelfHeal is off).
+func (nd *Node) Healer() *antientropy.Healer {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if !nd.alive {
+		return nil
+	}
+	return nd.healer
+}
+
 // Cache returns the node's plan cache handle (nil while killed). The
 // directory outlives kills; the handle does not.
 func (nd *Node) Cache() *plancache.Cache {
@@ -246,18 +330,27 @@ func (nd *Node) Cache() *plancache.Cache {
 	return nd.cache
 }
 
-// Close gracefully shuts the node down: drain planserve, stop the router,
-// close the listener. Used at cluster teardown (Kill is the chaos path).
+// Close gracefully shuts the node down: drain planserve, push solely-held
+// cache entries to the surviving replicas (self-healing drain), stop the
+// router and healer, close the listener. Used at cluster teardown (Kill is
+// the chaos path).
 func (nd *Node) Close(ctx context.Context) error {
 	nd.mu.Lock()
 	alive := nd.alive
 	nd.alive = false
-	srv, router, httpSrv := nd.srv, nd.router, nd.http
+	srv, router, healer, httpSrv := nd.srv, nd.router, nd.healer, nd.http
 	nd.mu.Unlock()
 	if !alive {
 		return nil
 	}
 	err := srv.Shutdown(ctx)
+	if healer != nil {
+		// Push before the listener closes: the receiving replicas' PUTs ride
+		// connections that need this node only as a client, but peers may
+		// still be pulling digests from us mid-push.
+		healer.DrainPush(ctx)
+		healer.Stop()
+	}
 	router.Stop()
 	if herr := httpSrv.Shutdown(ctx); err == nil {
 		err = herr

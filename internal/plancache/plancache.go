@@ -13,9 +13,11 @@ package plancache
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"sync"
 
@@ -45,6 +47,18 @@ type Stats struct {
 	Quarantined int64
 }
 
+// EntryStat is the cheap per-entry summary the anti-entropy digest exchange
+// is built on: the encoded entry's size and payload CRC32, recorded when the
+// entry was loaded or written — Stat never re-encodes or touches disk.
+type EntryStat struct {
+	// Size is the encoded entry's on-disk length in bytes.
+	Size int64
+	// CRC is the IEEE CRC32 over the entry's payload, exactly the checksum
+	// the on-disk container carries — two replicas holding byte-identical
+	// entries report equal CRCs with no decode.
+	CRC uint32
+}
+
 // Cache is a concurrency-safe persistent plan cache. The in-memory index
 // mirrors the directory: every loadable entry is held decoded (plans are a
 // few bytes per matrix row), so Get never touches disk after Open.
@@ -53,6 +67,7 @@ type Cache struct {
 
 	mu      sync.RWMutex
 	entries map[string]*Entry
+	meta    map[string]EntryStat
 	stats   Stats
 }
 
@@ -62,7 +77,7 @@ func Open(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	c := &Cache{dir: dir, entries: make(map[string]*Entry)}
+	c := &Cache{dir: dir, entries: make(map[string]*Entry), meta: make(map[string]EntryStat)}
 	names, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -82,12 +97,13 @@ func Open(dir string) (*Cache, error) {
 		}
 		path := filepath.Join(dir, name)
 		key := strings.TrimSuffix(name, Ext)
-		e, err := loadEntry(path, key)
+		e, st, err := loadEntry(path, key)
 		if err != nil {
 			c.quarantine(path)
 			continue
 		}
 		c.entries[key] = e
+		c.meta[key] = st
 	}
 	c.stats.Entries = len(c.entries)
 	return c, nil
@@ -99,19 +115,30 @@ func (c *Cache) Dir() string { return c.dir }
 // loadEntry reads and decodes one entry file, cross-checking the embedded
 // key against the filename so a file copied under the wrong name cannot
 // serve another matrix's plan.
-func loadEntry(path, key string) (*Entry, error) {
+func loadEntry(path, key string) (*Entry, EntryStat, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, EntryStat{}, err
 	}
 	e, err := DecodeEntry(data)
 	if err != nil {
-		return nil, err
+		return nil, EntryStat{}, err
 	}
 	if e.Key != key {
-		return nil, fmt.Errorf("%w: entry key %q under filename key %q", ErrCorrupt, e.Key, key)
+		return nil, EntryStat{}, fmt.Errorf("%w: entry key %q under filename key %q", ErrCorrupt, e.Key, key)
 	}
-	return e, nil
+	return e, statOf(data), nil
+}
+
+// statOf derives an entry's digest summary from its encoded bytes: the
+// container's own payload CRC (header bytes 12..16, already validated by
+// DecodeEntry on every load path) and the total encoded length.
+func statOf(data []byte) EntryStat {
+	st := EntryStat{Size: int64(len(data))}
+	if len(data) >= 16 {
+		st.CRC = binary.LittleEndian.Uint32(data[12:16])
+	}
+	return st
 }
 
 // quarantine renames a damaged entry aside. Callers hold no lock on the
@@ -190,6 +217,7 @@ func (c *Cache) Put(e *Entry) error {
 		c.stats.Entries++
 	}
 	c.entries[e.Key] = e
+	c.meta[e.Key] = statOf(data)
 	c.stats.Puts++
 	c.mu.Unlock()
 	return nil
@@ -214,8 +242,9 @@ func checkReencode(data []byte) error {
 	return nil
 }
 
-// Keys returns the keys of every loadable entry, in unspecified order. The
-// chaos harness uses it to sweep the cache for invariant violations.
+// Keys returns the keys of every loadable entry, in ascending lexicographic
+// order. The order is part of the contract: the anti-entropy digest exchange
+// diffs sorted key lists across replicas, and tests rely on determinism.
 func (c *Cache) Keys() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -223,7 +252,69 @@ func (c *Cache) Keys() []string {
 	for k := range c.entries {
 		out = append(out, k)
 	}
+	slices.Sort(out)
 	return out
+}
+
+// Stat returns the encoded size and payload CRC32 recorded when key's entry
+// was loaded or written — a digest-cheap summary with no decode and no disk
+// access. The CRC matches the on-disk container's own checksum, so equal
+// Stat values across replicas mean byte-identical entries.
+func (c *Cache) Stat(key string) (EntryStat, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st, ok := c.meta[key]
+	return st, ok
+}
+
+// Delete removes key's entry from disk and the index. Used by the
+// anti-entropy repair loop to drop entries this node no longer owns after a
+// ring change. Deleting an absent key is a no-op.
+func (c *Cache) Delete(key string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok {
+		return nil
+	}
+	if err := os.Remove(filepath.Join(c.dir, key+Ext)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	delete(c.entries, key)
+	delete(c.meta, key)
+	c.stats.Entries--
+	return nil
+}
+
+// Scrub re-reads key's entry from disk and holds it to the full decode
+// invariants (CRC, structure, key match) plus bit-agreement with the index's
+// recorded stat. A failure quarantines the file, evicts the entry from the
+// index, and returns the decode error — the caller (the anti-entropy
+// scrubber) then repairs from a peer. Scrubbing an unindexed key is a no-op.
+func (c *Cache) Scrub(key string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok {
+		return nil
+	}
+	path := filepath.Join(c.dir, key+Ext)
+	evict := func() {
+		c.quarantine(path)
+		delete(c.entries, key)
+		delete(c.meta, key)
+		c.stats.Entries--
+	}
+	_, st, err := loadEntry(path, key)
+	if err != nil {
+		evict()
+		return fmt.Errorf("plancache: scrub %.12s: %w", key, err)
+	}
+	if want := c.meta[key]; st != want {
+		// Decodable but not the bytes this process published — a swapped or
+		// stale file is as untrustworthy as a corrupt one.
+		evict()
+		return fmt.Errorf("%w: scrub %.12s: on-disk stat %+v differs from index %+v", ErrCorrupt, key, st, want)
+	}
+	return nil
 }
 
 // Len returns the number of loadable entries.

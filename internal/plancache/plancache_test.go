@@ -469,3 +469,137 @@ func TestPutCatchesInjectedCorruption(t *testing.T) {
 		t.Fatalf("healthy Put after disarm: %v", err)
 	}
 }
+
+// TestKeysSortedStatDelete pins the new anti-entropy surface: Keys is sorted,
+// Stat reports the on-disk size+CRC without decoding, and Delete removes both
+// the file and the index entry.
+func TestKeysSortedStatDelete(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []*Entry
+	for seed := int64(1); seed <= 4; seed++ {
+		e := testEntry(t, testMatrix(t, seed))
+		if err := c.Put(e); err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, e)
+	}
+	keys := c.Keys()
+	if len(keys) != 4 {
+		t.Fatalf("Keys() = %d entries, want 4", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("Keys() not sorted: %q >= %q", keys[i-1], keys[i])
+		}
+	}
+
+	e := entries[0]
+	st, ok := c.Stat(e.Key)
+	if !ok {
+		t.Fatal("Stat miss for a present key")
+	}
+	fi, err := os.Stat(filepath.Join(dir, e.Key+Ext))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != fi.Size() {
+		t.Fatalf("Stat size %d != file size %d", st.Size, fi.Size())
+	}
+	if st.CRC == 0 {
+		t.Fatal("Stat CRC is zero")
+	}
+	// A reopened cache (fresh process) reports the identical stat — the
+	// digest exchange depends on stats being stable across restarts.
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2, ok := c2.Stat(e.Key); !ok || st2 != st {
+		t.Fatalf("Stat across reopen = (%+v, %v), want (%+v, true)", st2, ok, st)
+	}
+
+	if err := c.Delete(e.Key); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Peek(e.Key); ok {
+		t.Fatal("deleted key still served")
+	}
+	if _, ok := c.Stat(e.Key); ok {
+		t.Fatal("deleted key still has a stat")
+	}
+	if _, err := os.Stat(filepath.Join(dir, e.Key+Ext)); !os.IsNotExist(err) {
+		t.Fatalf("deleted entry file still on disk: %v", err)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d after delete, want 3", c.Len())
+	}
+	if err := c.Delete(e.Key); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+	// A reopen must not resurrect the deleted entry.
+	c3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c3.Peek(e.Key); ok {
+		t.Fatal("deleted entry resurrected on reopen")
+	}
+}
+
+// TestScrub covers the scrubber's contract: a healthy entry passes, silent
+// on-disk corruption is quarantined + evicted, and an unindexed key is a
+// no-op.
+func TestScrub(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := testEntry(t, testMatrix(t, 1))
+	bad := testEntry(t, testMatrix(t, 2))
+	for _, e := range []*Entry{good, bad} {
+		if err := c.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Scrub(good.Key); err != nil {
+		t.Fatalf("scrub of healthy entry: %v", err)
+	}
+	if err := c.Scrub("not-a-key"); err != nil {
+		t.Fatalf("scrub of absent key: %v", err)
+	}
+
+	// Flip one payload byte on disk behind the cache's back (bit rot).
+	path := filepath.Join(dir, bad.Key+Ext)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Scrub(bad.Key); err == nil {
+		t.Fatal("scrub missed flipped payload byte")
+	}
+	if _, ok := c.Peek(bad.Key); ok {
+		t.Fatal("corrupt entry still served after scrub")
+	}
+	if _, err := os.Stat(path + QuarantineSuffix); err != nil {
+		t.Fatalf("corrupt entry not quarantined: %v", err)
+	}
+	if st := c.Stats(); st.Quarantined != 1 || st.Entries != 1 {
+		t.Fatalf("stats after scrub = %+v", st)
+	}
+	// Recovery path: a fresh Put under the same key restores service.
+	if err := c.Put(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Scrub(bad.Key); err != nil {
+		t.Fatalf("scrub after repair: %v", err)
+	}
+}

@@ -177,6 +177,9 @@ bootes_serve_shed_total 0
 # HELP bootes_serve_verify_violations_total Plan-verification violations observed by this server.
 # TYPE bootes_serve_verify_violations_total counter
 bootes_serve_verify_violations_total 0
+# HELP bootes_serve_warming 1 while start-up warm-up holds readiness at 503.
+# TYPE bootes_serve_warming gauge
+bootes_serve_warming 0
 # HELP bootes_similarity_mode_total Spectral passes by similarity construction tier.
 # TYPE bootes_similarity_mode_total counter
 bootes_similarity_mode_total{mode="exact"} 1

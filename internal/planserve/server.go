@@ -16,6 +16,7 @@
 package planserve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -30,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bootes/internal/antientropy"
 	"bootes/internal/faultinject"
 	"bootes/internal/obs"
 	"bootes/internal/plancache"
@@ -96,6 +98,16 @@ type Config struct {
 	// local cache, and served without computing — the fleet-wide
 	// compute-once-per-replica-set property rests on this hook.
 	PeerFill func(ctx context.Context, key string) (*plancache.Entry, bool)
+	// Replicate, when set, is called after the pipeline's successful cache
+	// write with the entry's key (internal/antientropy pushes the fresh plan
+	// to the key's other replicas, parking hints for down ones). Called
+	// synchronously on the admitted request's goroutine — implementations
+	// bound their own network time. Peer-filled entries are not re-announced:
+	// they came from the replica set already.
+	Replicate func(key string)
+	// Heal, when set, contributes the anti-entropy healer's counters to
+	// /statsz (the healer's lifecycle belongs to the caller, like Queue's).
+	Heal *antientropy.Healer
 	// Seed seeds the retry jitter (deterministic tests); 0 uses a fixed seed.
 	Seed int64
 	// Metrics is the registry the server's serving counters register on and
@@ -140,6 +152,9 @@ type Stats struct {
 	Cache plancache.Stats
 	// Queue is the async queue's counters (nil when async is off).
 	Queue *planqueue.Stats `json:",omitempty"`
+	// Heal is the anti-entropy healer's counters (nil when self-healing is
+	// off).
+	Heal *antientropy.Stats `json:",omitempty"`
 }
 
 // Server serves planning requests over HTTP. Create with New, expose with
@@ -159,6 +174,7 @@ type Server struct {
 	jitter   *rand.Rand
 
 	draining atomic.Bool
+	warming  atomic.Bool
 	inflight sync.WaitGroup // tracks admitted pipeline executions
 
 	// Serving counters live on reg (Config.Metrics or a private registry);
@@ -217,6 +233,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	s.mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
+	s.mux.HandleFunc("GET /v1/cache/digest", s.handleCacheDigest)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
@@ -257,6 +275,12 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 	})
 	reg.GaugeFunc("bootes_serve_draining", "1 while graceful shutdown is in progress.", func() int64 {
 		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc("bootes_serve_warming", "1 while start-up warm-up holds readiness at 503.", func() int64 {
+		if s.warming.Load() {
 			return 1
 		}
 		return 0
@@ -329,8 +353,19 @@ func (s *Server) Stats() Stats {
 		qs := s.cfg.Queue.Stats()
 		st.Queue = &qs
 	}
+	if s.cfg.Heal != nil {
+		hs := s.cfg.Heal.Stats()
+		st.Heal = &hs
+	}
 	return st
 }
+
+// SetWarming flips the start-up warm-up gate. While set, /readyz answers 503
+// (fleet probes keep routing around this node) but every other endpoint —
+// including the peer cache-fill and digest reads warm-up itself depends on —
+// serves normally. bootesd sets it before streaming owned key ranges from
+// replicas and clears it when the warm-up finishes or its deadline expires.
+func (s *Server) SetWarming(v bool) { s.warming.Store(v) }
 
 // PlanResponse is the /v1/plan JSON body.
 type PlanResponse struct {
@@ -363,8 +398,9 @@ type PlanResponse struct {
 // node is. QueueDepth counts async jobs ready to run; Queued counts sync
 // requests waiting for an admission slot.
 type HealthResponse struct {
-	Status     string `json:"status"` // "ok" or "draining"
+	Status     string `json:"status"` // "ok", "warming", or "draining"
 	Draining   bool   `json:"draining"`
+	Warming    bool   `json:"warming,omitempty"`
 	InFlight   int64  `json:"inFlight"`
 	Queued     int64  `json:"queued"`
 	QueueDepth int64  `json:"queueDepth"`
@@ -374,8 +410,12 @@ func (s *Server) health() HealthResponse {
 	h := HealthResponse{
 		Status:   "ok",
 		Draining: s.draining.Load(),
+		Warming:  s.warming.Load(),
 		InFlight: s.running.Value(),
 		Queued:   s.queued.Value(),
+	}
+	if h.Warming {
+		h.Status = "warming"
 	}
 	if h.Draining {
 		h.Status = "draining"
@@ -394,12 +434,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	_ = json.NewEncoder(w).Encode(s.health())
 }
 
-// handleReadyz is admission: 503 while draining, so fleet health probes drop
-// a draining node out of routing and new work flows to its peers instead.
+// handleReadyz is admission: 503 while draining or warming, so fleet health
+// probes drop the node out of routing — a draining node is leaving, a
+// warming node has not finished streaming its owned key ranges from its
+// replicas yet — and new work flows to its peers instead.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	h := s.health()
 	w.Header().Set("Content-Type", "application/json")
-	if h.Draining {
+	if h.Draining || h.Warming {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	} else {
 		w.WriteHeader(http.StatusOK)
@@ -428,6 +470,74 @@ func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	_, _ = w.Write(data)
+}
+
+// handleCachePut is the anti-entropy ingest endpoint: replication pushes,
+// hint deliveries, and drain handoffs all land here. The body is a raw
+// encoded entry; it is decoded (CRC-checked), key-matched, and field-verified
+// before it can touch the cache, and degraded entries are refused outright —
+// the same bar every other ingest path applies. When the local cache already
+// holds different bytes for the key, the canonical (lexicographically
+// smaller) encoded byte string wins; the rule is symmetric with the repair
+// loop's pull side, so replicas converge no matter which direction repairs.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Cache == nil {
+		http.Error(w, "no plan cache on this node", http.StatusNotFound)
+		return
+	}
+	key := r.PathValue("key")
+	data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	e, err := plancache.DecodeEntry(data)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("undecodable entry: %v", err), http.StatusBadRequest)
+		return
+	}
+	if e.Key != key {
+		http.Error(w, fmt.Sprintf("entry key %.12s does not match path key %.12s", e.Key, key), http.StatusBadRequest)
+		return
+	}
+	if e.Degraded {
+		http.Error(w, "degraded plans do not replicate", http.StatusBadRequest)
+		return
+	}
+	if vs := planverify.CheckEntryFields(e.Perm, e.K, e.Reordered, e.Degraded, e.DegradedReason); len(vs) > 0 {
+		planverify.Record(planverify.SiteCachePut, vs...)
+		s.verifyBad.Add(int64(len(vs)))
+		http.Error(w, fmt.Sprintf("entry failed verification: %v", vs), http.StatusBadRequest)
+		return
+	}
+	if local, ok := s.cfg.Cache.Peek(key); ok {
+		if localData, err := plancache.EncodeEntry(local); err == nil &&
+			bytes.Compare(localData, data) <= 0 {
+			// The local copy is canonical (or identical): keep it. 204 — the
+			// push achieved its goal, the replica set holds the key.
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+	}
+	if err := s.cfg.Cache.Put(e); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleCacheDigest serves the anti-entropy digest: every cached key's
+// (size, CRC32) summary in ascending key order. ?prefix= restricts the range
+// (hex keys partition evenly by leading nibbles). Like cache reads, digests
+// stay available during drain and warm-up — peers repairing from this node
+// is exactly what those phases want.
+func (s *Server) handleCacheDigest(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Cache == nil {
+		http.Error(w, "no plan cache on this node", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(antientropy.DigestOf(s.cfg.Cache, r.URL.Query().Get("prefix")))
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
@@ -721,6 +831,12 @@ func (s *Server) runAdmitted(ctx context.Context, m *sparse.CSR, key string, pro
 			// A failed cache write is a durability loss, not a serving
 			// failure: the plan is still correct.
 			s.cfg.Logf("planserve: cache write for %s failed: %v", key[:12], err)
+		} else if s.cfg.Replicate != nil {
+			// A fresh plan exists on exactly one node until it replicates;
+			// announce it to the rest of the replica set (down replicas get a
+			// durable hint) before the request returns, so a crash right after
+			// the response cannot orphan the only copy.
+			s.cfg.Replicate(key)
 		}
 	}
 	return res, nil

@@ -153,6 +153,34 @@ func (r *Ring) Replicas(key string, n int) []string {
 	return out
 }
 
+// OwnedBy reports whether node is in key's replica set of size n — the
+// ownership predicate the anti-entropy layer repairs toward. Equivalent to
+// scanning Replicas(key, n) but allocation-free on the hot digest-diff path.
+func (r *Ring) OwnedBy(key, node string, n int) bool {
+	if !r.Contains(node) {
+		return false
+	}
+	if n <= 0 {
+		n = 1
+	}
+	if n >= len(r.nodes) {
+		return true
+	}
+	seen := make(map[int32]bool, n)
+	start := r.successor(key)
+	for i := 0; i < len(r.points) && len(seen) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		if r.nodes[p.node] == node {
+			return true
+		}
+	}
+	return false
+}
+
 // successor finds the index of the first point with hash >= the key's hash,
 // wrapping past the top of the circle.
 func (r *Ring) successor(key string) int {
