@@ -83,12 +83,12 @@ race:
 race-serve:
 	GOMAXPROCS=4 $(GO) test -race -count=2 -timeout 10m \
 		./internal/plancache/... ./internal/planserve/ ./internal/planqueue/ ./internal/obs/ \
-		./internal/ring/ ./internal/fleet/ ./internal/antientropy/
+		./internal/ring/ ./internal/fleet/ ./internal/antientropy/ ./internal/refine/
 
 # Seed-corpus-only pass: every fuzz target replays its checked-in corpus as
 # plain tests (no mutation engine), so check catches corpus regressions fast.
 fuzz-seeds:
-	$(GO) test ./internal/sparse/ ./internal/plancache/ -run 'Fuzz' -count=1
+	$(GO) test ./internal/sparse/ ./internal/plancache/ ./internal/refine/ -run 'Fuzz' -count=1
 
 # Short deterministic chaos run (also part of `go test ./...`); kept as its
 # own target so check's output names it explicitly.
@@ -118,6 +118,7 @@ fuzz:
 	$(GO) test ./internal/sparse/ -run XXX -fuzz FuzzNewCSR -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sparse/ -run XXX -fuzz FuzzBitsetPack -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/plancache/ -run XXX -fuzz FuzzDecodeEntry -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/refine/ -run XXX -fuzz FuzzRefine -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test ./internal/sparse/ -run XXX -bench 'Similarity|SpMV' -benchtime 10x

@@ -1,0 +1,59 @@
+package bootes
+
+// Acceptance test for the eigengap auto-k selector: over the SC archetype
+// corpus (every pre-existing archetype plus the three added for auto-k),
+// auto-k must predict strictly less B traffic than the best fixed-k sweep on
+// at least two of the three new archetypes, and must never regress a
+// pre-existing archetype by more than 2%. The experiment scores the real
+// production policy — a fallback outcome defers to the sweep — so smooth-
+// spectrum archetypes tie by construction and the criteria pin the selector's
+// behaviour on matrices with genuine cluster structure. EXPERIMENTS.md
+// records the per-archetype deltas from cmd/benchsuite -only SC.
+
+import (
+	"testing"
+
+	"bootes/internal/experiments"
+)
+
+func TestAutoKSelectorComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("selector comparison runs the full archetype corpus")
+	}
+	rep, err := experiments.SelectorComparison(experiments.Config{Scale: 0.12, Seed: 1, Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins, total := rep.NewArchetypeWins()
+	if total != 3 {
+		t.Fatalf("expected 3 new archetypes in the corpus, got %d", total)
+	}
+	if wins < 2 {
+		for _, r := range rep.Records {
+			if r.New {
+				t.Logf("%s: fixed %.4f (k=%d) vs auto %.4f [%s]",
+					r.Archetype, r.FixedRatio, r.BestFixedK, r.AutoRatio, r.Outcome)
+			}
+		}
+		t.Errorf("auto-k strictly better on %d/3 new archetypes, want >= 2", wins)
+	}
+	if worst := rep.WorstExistingRegressionPct(); worst > 2.0 {
+		for _, r := range rep.Records {
+			if !r.New && r.DeltaPct() < 0 {
+				t.Logf("%s: fixed %.4f (k=%d) vs auto %.4f [%s]",
+					r.Archetype, r.FixedRatio, r.BestFixedK, r.AutoRatio, r.Outcome)
+			}
+		}
+		t.Errorf("worst existing-archetype regression %.2f%%, want <= 2%%", worst)
+	}
+	// Every record carries a coherent outcome: a selected k implies a
+	// recorded k and a scored ratio; a fallback scores the sweep's ratio.
+	for _, r := range rep.Records {
+		if r.AutoK > 0 && r.AutoRatio <= 0 {
+			t.Errorf("%s: selected k=%d but no auto ratio", r.Archetype, r.AutoK)
+		}
+		if r.AutoK == 0 && r.AutoRatio != r.FixedRatio {
+			t.Errorf("%s: fallback should score the sweep ratio", r.Archetype)
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"bootes/internal/accel"
@@ -41,6 +42,7 @@ import (
 	"bootes/internal/dtree"
 	"bootes/internal/plancache"
 	"bootes/internal/planverify"
+	"bootes/internal/refine"
 	"bootes/internal/reorder"
 	"bootes/internal/sparse"
 )
@@ -97,6 +99,19 @@ type Options struct {
 	// ForceK fixes the cluster count (must be one of CandidateKs) instead of
 	// letting the gate choose. 0 lets the model/heuristic decide.
 	ForceK int
+	// AutoK enables eigengap-based automatic cluster-count selection: when
+	// the gate approves reordering, the planner refines the explicit
+	// similarity matrix (see Refinement), solves its top spectrum, and picks
+	// k at the largest eigengap ratio within [2, 64] instead of the fixed
+	// candidate set. An ambiguous spectrum falls back to the gate's fixed k
+	// (recorded in ReorderPlan.AutoK, not a degradation); a failed attempt
+	// degrades to the fixed-k ladder. Ignored when ForceK is set. Auto-k
+	// plans cache under a distinct key.
+	AutoK bool
+	// Refinement overrides the affinity-refinement pipeline auto-k runs over
+	// the similarity matrix. nil selects DefaultRefinement(). Ignored unless
+	// AutoK is set.
+	Refinement *RefinementOptions
 	// ImplicitSimilarity avoids materializing S = Ā·Āᵀ (lower peak memory,
 	// one extra matvec per Lanczos step). Legacy flag: equivalent to
 	// Similarity = SimImplicit; ignored when Similarity is set explicitly.
@@ -125,7 +140,8 @@ type Options struct {
 	Cache *PlanCache
 	// Verify selects whether every plan is machine-checked before it is
 	// returned or cached (internal/planverify): the permutation must be a
-	// bijection of the right length, K must be a candidate cluster count,
+	// bijection of the right length, K must be a feasible cluster count
+	// (a candidate count or an auto-k selection within [2, rows]),
 	// Degraded must carry a reason, and — unless ForceReorder/ForceK bypassed
 	// the gate — the traffic model must not predict the reordering moves more
 	// bytes than the original order. A violating plan never surfaces: it
@@ -174,6 +190,16 @@ func EffectiveSimilarityMode(m *Matrix, o *Options) SimilarityMode {
 	}
 	return core.EffectiveSimilarityMode(m, opts.spectralOptions())
 }
+
+// RefinementOptions configures the affinity-refinement pipeline auto-k runs
+// over the similarity matrix before eigengap selection (see internal/refine):
+// crop-diagonal, per-row p-percentile thresholding, symmetrization, diffusion
+// S·Sᵀ, and row-max renormalization, applied in that fixed order.
+type RefinementOptions = refine.Options
+
+// DefaultRefinement returns the production refinement recipe: the full
+// pipeline with 95th-percentile thresholding.
+func DefaultRefinement() RefinementOptions { return refine.Default() }
 
 // VerifyMode toggles the always-on plan verifier.
 type VerifyMode int
@@ -224,6 +250,14 @@ type ReorderPlan struct {
 	// ("exact", "bitset", "approx", "implicit"). Empty when no spectral pass
 	// ran (gate decline, identity fallback).
 	SimilarityMode string
+	// AutoK records the eigengap auto-k outcome when Options.AutoK was set:
+	// "selected: k=… gap-ratio=…" when the eigengap chose the cluster count,
+	// "fallback-ambiguous: …" / "fallback-implicit: …" when selection
+	// declined and the gate's fixed k was used (not a degradation),
+	// "degraded" when the attempt failed and planning fell to the fixed-k
+	// ladder, and "cached" on a cache hit (the outcome itself is not
+	// persisted). Empty when auto-k was not requested.
+	AutoK string
 	// FromCache reports that the plan was served from Options.Cache;
 	// PreprocessSeconds and FootprintBytes then describe the original
 	// computation (what the hit saved), not this call.
@@ -239,6 +273,24 @@ func (o *Options) spectralOptions() core.SpectralOptions {
 		ImplicitSimilarity: o.ImplicitSimilarity,
 		Similarity:         o.Similarity,
 	}
+}
+
+// autoKOptions maps the public auto-k options to the core configuration.
+// planKey and PlanContext share it (via refinementOptions) so the cache key
+// and the executed pipeline can never disagree about the refinement recipe.
+func (o *Options) autoKOptions() core.AutoKOptions {
+	if !o.AutoK {
+		return core.AutoKOptions{}
+	}
+	return core.AutoKOptions{Enabled: true, Refine: o.refinementOptions()}
+}
+
+// refinementOptions resolves the effective refinement configuration.
+func (o *Options) refinementOptions() RefinementOptions {
+	if o.Refinement != nil {
+		return *o.Refinement
+	}
+	return DefaultRefinement()
 }
 
 // Plan runs the Bootes pipeline on m: extract features, consult the gate,
@@ -287,6 +339,13 @@ func PlanContext(ctx context.Context, m *Matrix, opts *Options) (*ReorderPlan, e
 				if e.K > 0 {
 					simMode = core.EffectiveSimilarityMode(m, o.spectralOptions()).String()
 				}
+				autoK := ""
+				if o.AutoK {
+					// The key covers the auto-k request and refinement recipe,
+					// so the entry was planned with auto-k; the per-attempt
+					// outcome string itself is not persisted.
+					autoK = "cached"
+				}
 				return &ReorderPlan{
 					Perm:              e.Perm,
 					Reordered:         e.Reordered,
@@ -296,6 +355,7 @@ func PlanContext(ctx context.Context, m *Matrix, opts *Options) (*ReorderPlan, e
 					Degraded:          e.Degraded,
 					DegradedReason:    e.DegradedReason,
 					SimilarityMode:    simMode,
+					AutoK:             autoK,
 					FromCache:         true,
 				}, nil
 			}
@@ -305,6 +365,7 @@ func PlanContext(ctx context.Context, m *Matrix, opts *Options) (*ReorderPlan, e
 		Spectral:     o.spectralOptions(),
 		ForceReorder: o.ForceReorder,
 		ForceK:       o.ForceK,
+		AutoK:        o.autoKOptions(),
 		Budget: core.Budget{
 			MaxWallClock:      o.Budget.MaxWallClock,
 			MaxFootprintBytes: o.Budget.MaxFootprintBytes,
@@ -335,6 +396,7 @@ func PlanContext(ctx context.Context, m *Matrix, opts *Options) (*ReorderPlan, e
 		Degraded:          res.Degraded,
 		DegradedReason:    res.DegradedReason,
 		SimilarityMode:    res.SimilarityMode,
+		AutoK:             res.AutoK,
 	}
 	if o.Cache != nil && !plan.Degraded {
 		// Degraded plans reflect the moment's faults, not the matrix; only
@@ -410,6 +472,31 @@ func planKey(m *Matrix, o *Options) string {
 		opt[17] = 1
 	case core.SimClassApprox:
 		opt[18] = 1
+	}
+	// Auto-k keys separately from fixed-k planning, and each refinement
+	// recipe keys separately too: the selected k (and thus the permutation)
+	// depends on every op and on the threshold percentile.
+	if o.AutoK {
+		opt[19] = 1
+		r := o.refinementOptions()
+		var flags byte
+		if r.CropDiagonal {
+			flags |= 1 << 0
+		}
+		if r.ThresholdP > 0 {
+			flags |= 1 << 1
+		}
+		if r.Symmetrize {
+			flags |= 1 << 2
+		}
+		if r.Diffuse {
+			flags |= 1 << 3
+		}
+		if r.RowMaxNorm {
+			flags |= 1 << 4
+		}
+		opt[20] = flags
+		binary.LittleEndian.PutUint64(opt[24:], math.Float64bits(r.ThresholdP))
 	}
 	h.Write(opt[:])
 	if o.Model != nil {

@@ -12,10 +12,12 @@
 //
 // Commands that run the planning pipeline (analyze, reorder, plan) accept
 // -timeout (a planning deadline, enforced through PlanContext), -strict
-// (exit non-zero when the plan is degraded), and -similarity
+// (exit non-zero when the plan is degraded), -similarity
 // (auto|exact|bitset|approx|implicit — the similarity construction tier;
-// auto picks from the matrix size). Degraded plans always print a warning to
-// stderr.
+// auto picks from the matrix size), and -auto-k (pick the cluster count by
+// the largest eigengap of the refined similarity instead of the decision
+// tree's fixed candidate k; ambiguous spectra fall back to the fixed-k
+// sweep). Degraded plans always print a warning to stderr.
 package main
 
 import (
@@ -149,6 +151,7 @@ func cmdAnalyze(args []string) {
 	strict := fs.Bool("strict", false, "exit non-zero if the plan is degraded")
 	stats := fs.Bool("stats", false, "print a per-stage planning time table")
 	similarity := similarityFlag(fs)
+	autoK := autoKFlag(fs)
 	fs.Parse(args)
 	if *in == "" {
 		log.Fatal("analyze: -in is required")
@@ -169,7 +172,7 @@ func cmdAnalyze(args []string) {
 		trace = obs.Default().NewTrace()
 		ctx = obs.WithTrace(ctx, trace)
 	}
-	opts := &bootes.Options{Seed: *seed, Model: loadModel(*model), Similarity: parseSimilarity(*similarity)}
+	opts := &bootes.Options{Seed: *seed, Model: loadModel(*model), Similarity: parseSimilarity(*similarity), AutoK: *autoK}
 	if *timeout > 0 {
 		opts.Budget.MaxWallClock = *timeout
 	}
@@ -185,6 +188,9 @@ func cmdAnalyze(args []string) {
 	}
 	if plan.SimilarityMode != "" {
 		fmt.Printf("similarity: %s tier\n", plan.SimilarityMode)
+	}
+	if plan.AutoK != "" {
+		fmt.Printf("auto-k:    %s\n", plan.AutoK)
 	}
 	if trace != nil {
 		fmt.Print(trace.Table())
@@ -204,6 +210,7 @@ func cmdReorder(args []string) {
 	timeout := fs.Duration("timeout", 0, "planning deadline (0 = none)")
 	strict := fs.Bool("strict", false, "exit non-zero if the plan is degraded")
 	similarity := similarityFlag(fs)
+	autoK := autoKFlag(fs)
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		log.Fatal("reorder: -in and -out are required")
@@ -213,7 +220,7 @@ func cmdReorder(args []string) {
 	defer cancel()
 	opts := &bootes.Options{
 		Seed: *seed, ForceK: *k, ForceReorder: *force, Model: loadModel(*model),
-		Similarity: parseSimilarity(*similarity),
+		Similarity: parseSimilarity(*similarity), AutoK: *autoK,
 	}
 	if *timeout > 0 {
 		opts.Budget.MaxWallClock = *timeout
@@ -438,6 +445,7 @@ func cmdPlan(args []string) {
 	tenant := fs.String("tenant", "", "tenant identity sent as X-Tenant (quota accounting on the daemon)")
 	retries := fs.Int("retries", 5, "max retries when the daemon sheds with 429 (Retry-After is honored)")
 	similarity := similarityFlag(fs)
+	autoK := autoKFlag(fs)
 	fs.Parse(args)
 	if *in == "" {
 		log.Fatal("plan: -in is required")
@@ -453,7 +461,7 @@ func cmdPlan(args []string) {
 	m := readMatrix(*in)
 	ctx, cancel := planCtx(*timeout)
 	defer cancel()
-	opts := &bootes.Options{Seed: *seed, Model: loadModel(*model), Similarity: parseSimilarity(*similarity)}
+	opts := &bootes.Options{Seed: *seed, Model: loadModel(*model), Similarity: parseSimilarity(*similarity), AutoK: *autoK}
 	if *timeout > 0 {
 		opts.Budget.MaxWallClock = *timeout
 	}
@@ -478,12 +486,20 @@ func cmdPlan(args []string) {
 	if plan.SimilarityMode != "" {
 		fmt.Printf("similarity: %s tier\n", plan.SimilarityMode)
 	}
+	if plan.AutoK != "" {
+		fmt.Printf("auto-k:    %s\n", plan.AutoK)
+	}
 	warnDegraded(plan.Degraded, plan.DegradedReason, *strict)
 }
 
 // similarityFlag registers the shared -similarity flag on a planning command.
 func similarityFlag(fs *flag.FlagSet) *string {
 	return fs.String("similarity", "auto", "similarity tier: auto, exact, bitset, approx, or implicit")
+}
+
+// autoKFlag registers the shared -auto-k flag on a planning command.
+func autoKFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("auto-k", false, "pick the cluster count by eigengap on the refined similarity (falls back to the fixed-k sweep when ambiguous)")
 }
 
 // parseSimilarity maps the flag value to a mode, exiting on bad input.
@@ -503,6 +519,7 @@ type remotePlan struct {
 	Degraded          bool    `json:"degraded"`
 	DegradedReason    string  `json:"degradedReason"`
 	PreprocessSeconds float64 `json:"preprocessSeconds"`
+	AutoK             string  `json:"autoK"`
 	Cached            bool    `json:"cached"`
 	Coalesced         bool    `json:"coalesced"`
 	Breaker           string  `json:"breaker"`
@@ -811,4 +828,7 @@ func printRemotePlan(pr *remotePlan, source string) {
 	fmt.Printf("key:       %s\n", pr.Key)
 	fmt.Printf("plan:      reordered=%v k=%d (%s, %.3fs)\n",
 		pr.Reordered, pr.K, source, pr.PreprocessSeconds)
+	if pr.AutoK != "" {
+		fmt.Printf("auto-k:    %s\n", pr.AutoK)
+	}
 }

@@ -79,6 +79,7 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle timeout")
 	pprofOn := flag.Bool("pprof", false, "serve runtime profiles on /debug/pprof/ (CPU, heap, goroutine, ...)")
 	similarity := flag.String("similarity", "auto", "similarity tier: auto, exact, bitset, approx, or implicit")
+	autoK := flag.Bool("auto-k", false, "pick the cluster count by eigengap on the refined similarity (falls back to the fixed-k sweep when ambiguous)")
 	queueDir := flag.String("queue-dir", "", "durable async job queue directory (empty disables ?async=1; requires -cache)")
 	queueWorkers := flag.Int("queue-workers", 0, "async queue worker pool size (default max-inflight)")
 	queueMax := flag.Int("queue-max", 1024, "async jobs queued before submissions shed")
@@ -139,7 +140,7 @@ func main() {
 		}
 		queue, err = planqueue.Open(planqueue.Config{
 			Dir:                *queueDir,
-			Run:                planqueue.RunFunc(planFunc(model, *seed, simMode)),
+			Run:                planqueue.RunFunc(planFunc(model, *seed, simMode, *autoK)),
 			Cache:              cache,
 			Workers:            workers,
 			MaxQueued:          *queueMax,
@@ -211,7 +212,7 @@ func main() {
 	}
 
 	cfg := planserve.Config{
-		Plan:            planFunc(model, *seed, simMode),
+		Plan:            planFunc(model, *seed, simMode, *autoK),
 		Cache:           cache,
 		Queue:           queue,
 		Tenants:         planserve.TenantConfig{Rate: *tenantRate, Burst: *tenantBurst},
@@ -226,6 +227,7 @@ func main() {
 		MaxUploadBytes:    *maxUpload,
 		UploadReadTimeout: *uploadTimeout,
 		AllowLocalPaths:   *allowPath,
+		AutoK:             *autoK,
 		Seed:              *seed,
 		Metrics:           obs.Default(),
 	}
@@ -347,9 +349,9 @@ func main() {
 // planFunc adapts the core pipeline to the serving layer. Each retry attempt
 // mixes the attempt number into the seed so a transient eigensolver failure
 // is not deterministically replayed.
-func planFunc(model *bootes.Model, seed int64, sim bootes.SimilarityMode) planserve.PlanFunc {
+func planFunc(model *bootes.Model, seed int64, sim bootes.SimilarityMode, autoK bool) planserve.PlanFunc {
 	return func(ctx context.Context, m *sparse.CSR, attempt int) (*reorder.Result, error) {
-		opts := &bootes.Options{Seed: seed + int64(attempt)*0x9E3779B9, Model: model, Similarity: sim}
+		opts := &bootes.Options{Seed: seed + int64(attempt)*0x9E3779B9, Model: model, Similarity: sim, AutoK: autoK}
 		if dl, ok := ctx.Deadline(); ok {
 			opts.Budget.MaxWallClock = time.Until(dl)
 		}
@@ -363,6 +365,7 @@ func planFunc(model *bootes.Model, seed int64, sim bootes.SimilarityMode) planse
 			Degraded:       plan.Degraded,
 			DegradedReason: plan.DegradedReason,
 			SimilarityMode: plan.SimilarityMode,
+			AutoK:          plan.AutoK,
 			PreprocessTime: time.Duration(plan.PreprocessSeconds * float64(time.Second)),
 			FootprintBytes: plan.FootprintBytes,
 			Extra:          map[string]float64{"k": float64(plan.K)},

@@ -85,16 +85,22 @@ func cmdSuite(args []string) {
 }
 
 func archByName(name string) (workloads.Archetype, bool) {
-	for _, a := range []workloads.Archetype{
-		workloads.ArchScrambledBlock, workloads.ArchFEM, workloads.ArchPowerLaw,
-		workloads.ArchCircuit, workloads.ArchLP, workloads.ArchKNN,
-		workloads.ArchBanded, workloads.ArchRandom,
-	} {
+	for _, a := range allArchetypes() {
 		if a.String() == name {
 			return a, true
 		}
 	}
 	return 0, false
+}
+
+func allArchetypes() []workloads.Archetype {
+	return []workloads.Archetype{
+		workloads.ArchScrambledBlock, workloads.ArchFEM, workloads.ArchFEM3D,
+		workloads.ArchPowerLaw, workloads.ArchCircuit, workloads.ArchLP,
+		workloads.ArchKNN, workloads.ArchBanded, workloads.ArchRandom,
+		workloads.ArchManySmallClusters, workloads.ArchNoisyBlock64,
+		workloads.ArchHubPowerLaw,
+	}
 }
 
 func cmdOne(args []string) {
@@ -126,11 +132,7 @@ func cmdOne(args []string) {
 
 func cmdList() {
 	fmt.Println("archetypes:")
-	for _, a := range []workloads.Archetype{
-		workloads.ArchScrambledBlock, workloads.ArchFEM, workloads.ArchPowerLaw,
-		workloads.ArchCircuit, workloads.ArchLP, workloads.ArchKNN,
-		workloads.ArchBanded, workloads.ArchRandom,
-	} {
+	for _, a := range allArchetypes() {
 		fmt.Printf("  %s\n", a)
 	}
 	fmt.Println("\nsuite (paper Table 3):")

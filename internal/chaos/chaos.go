@@ -1,7 +1,8 @@
 // Package chaos is the deterministic fault-injection harness for the Bootes
 // serving stack. A Run executes N seeded episodes, each of which picks a
-// scenario (direct planning, HTTP serving, cache byte corruption, mid-write
-// crashes, durable-queue crash recovery, tenant quota storms), arms a
+// scenario (direct planning, auto-k planning, HTTP serving, cache byte
+// corruption, mid-write crashes, durable-queue crash recovery, tenant quota
+// storms), arms a
 // randomized-but-reproducible subset of the faultinject
 // registry, drives the real pipeline end to end, and then asserts the global
 // invariants the rest of the codebase promises:
@@ -189,6 +190,12 @@ type episode struct {
 	// only exits via cancellation, so every pipeline run must carry a
 	// wall-clock budget.
 	stallBudget time.Duration
+	// seenKeys dedupes matrix() draws within the episode. Some archetype
+	// patterns are seed-independent (a banded matrix is fully determined by
+	// its shape and density), so independent draws can collide on the cache
+	// key — and a duplicate write is a pure cache hit, which breaks
+	// scenario accounting that counts hints or computes per drawn matrix.
+	seenKeys map[string]bool
 }
 
 type armedFault struct {
@@ -269,7 +276,24 @@ func (e *episode) armAll() {
 }
 
 // matrix generates this episode's workload deterministically.
+// matrix draws an episode-unique random matrix: draws whose cache key
+// collides with an earlier draw are discarded and redrawn (deterministically
+// — the redraw consumes the episode rng), so every scenario can assume its
+// drawn working set has distinct plan identities.
 func (e *episode) matrix() *sparse.CSR {
+	if e.seenKeys == nil {
+		e.seenKeys = make(map[string]bool)
+	}
+	for {
+		m := e.drawMatrix()
+		if key := plancache.KeyCSR(m); !e.seenKeys[key] {
+			e.seenKeys[key] = true
+			return m
+		}
+	}
+}
+
+func (e *episode) drawMatrix() *sparse.CSR {
 	archetypes := []workloads.Archetype{
 		workloads.ArchScrambledBlock,
 		workloads.ArchPowerLaw,
@@ -406,6 +430,7 @@ type scenario struct {
 
 var scenarios = []scenario{
 	{"plan-direct", true, scenarioPlanDirect},
+	{"plan-autok", true, scenarioPlanAutoK},
 	{"plan-approx", false, scenarioPlanApprox},
 	{"serve-http", true, scenarioServeHTTP},
 	{"cache-bitflip", false, scenarioCacheBitFlip},
@@ -448,6 +473,63 @@ func scenarioPlanDirect(e *episode) {
 			return
 		}
 		e.checkPlanShape("plan-direct", m.Rows, plan.Perm, plan.K, plan.Reordered, plan.Degraded, plan.DegradedReason)
+	}
+}
+
+// scenarioPlanAutoK drives an auto-k plan request (eigengap selection over
+// the refined similarity) under the shared 0–2-point fault schedule. The
+// matrix always has planted cluster structure, so a spectral reorder that
+// returns the identity permutation is impossible except through the
+// degradation ladder's identity floor — which makes the sharpest auto-k
+// invariant checkable: every response is a valid plan or a marked-degraded
+// plan, and an identity plan must carry the ladder-exhausted reason. The
+// second call exercises the cache-hit path; the post-episode cache sweep
+// asserts no auto-k-keyed degraded entry was persisted.
+func scenarioPlanAutoK(e *episode) {
+	archetypes := []workloads.Archetype{
+		workloads.ArchScrambledBlock,
+		workloads.ArchManySmallClusters,
+		workloads.ArchNoisyBlock64,
+	}
+	rows := 24 + e.rng.Intn(41)
+	m := workloads.Generate(archetypes[e.rng.Intn(len(archetypes))], workloads.Params{
+		Rows: rows, Cols: rows,
+		Density: 0.05 + 0.05*e.rng.Float64(),
+		Seed:    e.rng.Int63(),
+		Groups:  2 + e.rng.Intn(3),
+	})
+	cache, err := bootes.OpenPlanCache(e.dir)
+	if err != nil {
+		e.violatef("plan-autok: open cache: %v", err)
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e.cancel = cancel
+	e.armAll()
+	opts := &bootes.Options{
+		Seed:         e.rng.Int63(),
+		AutoK:        true,
+		ForceReorder: true,
+		Cache:        cache,
+		Budget:       bootes.Budget{MaxWallClock: e.budget()},
+	}
+	for call := 0; call < 2; call++ {
+		plan, err := bootes.PlanContext(ctx, m, opts)
+		if err != nil {
+			if ctx.Err() == nil {
+				e.violatef("plan-autok: error without cancellation: %v", err)
+			} else {
+				e.rep.Refused++
+			}
+			return
+		}
+		e.checkPlanShape("plan-autok", m.Rows, plan.Perm, plan.K, plan.Reordered, plan.Degraded, plan.DegradedReason)
+		if plan.Perm.IsIdentity() &&
+			!(plan.Degraded && strings.Contains(plan.DegradedReason, "identity")) {
+			e.violatef("plan-autok: identity plan without ladder exhaustion (degraded=%v reason=%q)",
+				plan.Degraded, plan.DegradedReason)
+		}
 	}
 }
 

@@ -182,6 +182,66 @@ func (p *Pipeline) ReorderContext(ctx context.Context, a *sparse.CSR) (res *reor
 	base.K = k
 	eff := EffectiveSimilarityMode(a, base)
 	var reasons []string
+
+	// Auto-k rung: attempted once, before the fixed-k ladder. A successful
+	// selection returns directly; a fallback outcome (ambiguous spectrum,
+	// implicit tier) proceeds with the tree's k un-degraded; a failure
+	// degrades onto the fixed-k ladder with the reason recorded.
+	autoK := ""
+	if p.AutoK.Enabled && p.ForceK == 0 {
+		if est := estimateAutoKFootprint(a, base, p.AutoK); p.Budget.memoryExceeded(est) {
+			obs.RungFailure(ctx, "autok")
+			obs.AutoKOutcome(ctx, AutoKDegraded)
+			reasons = append(reasons,
+				fmt.Sprintf("autok: memory estimate %d B over budget", est))
+			autoK = AutoKDegraded
+		} else {
+			obs.RungAttempt(ctx, "autok")
+			sr, outcome, err := p.attemptAutoK(runCtx, a, base)
+			switch {
+			case err == nil && sr != nil:
+				obs.AutoKOutcome(ctx, AutoKOutcomeLabel(outcome))
+				return &reorder.Result{
+					Perm:           sr.Perm,
+					PreprocessTime: time.Since(start),
+					FootprintBytes: sr.FootprintBytes + modelBytes(p.Model),
+					Reordered:      !sr.Perm.IsIdentity(),
+					SimilarityMode: sr.Similarity.String(),
+					AutoK:          outcome,
+					Extra: map[string]float64{
+						"k":           float64(sr.K),
+						"decision":    float64(label),
+						"matvecs":     float64(sr.MatVecs),
+						"kmeansIters": float64(sr.KMeansIters),
+						"interAvg":    feats.InterAvg,
+					},
+				}, nil
+			case err == nil:
+				obs.AutoKOutcome(ctx, AutoKOutcomeLabel(outcome))
+				autoK = outcome
+			default:
+				obs.RungFailure(ctx, "autok")
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return nil, ctxErr
+				}
+				obs.AutoKOutcome(ctx, AutoKDegraded)
+				autoK = AutoKDegraded
+				if runCtx.Err() != nil {
+					reasons = append(reasons, "autok: wall-clock budget exhausted")
+				} else {
+					switch {
+					case errors.Is(err, eigen.ErrNoConverge):
+						reasons = append(reasons, "autok: eigensolver did not converge")
+					case errors.Is(err, ErrInternalPanic):
+						reasons = append(reasons, fmt.Sprintf("autok: contained panic (%v)", err))
+					default:
+						reasons = append(reasons, fmt.Sprintf("autok: %v", err))
+					}
+				}
+			}
+		}
+	}
+
 	for _, r := range buildLadder(base, eff) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -225,6 +285,7 @@ func (p *Pipeline) ReorderContext(ctx context.Context, a *sparse.CSR) (res *reor
 			Degraded:       len(reasons) > 0,
 			DegradedReason: strings.Join(reasons, "; "),
 			SimilarityMode: sr.Similarity.String(),
+			AutoK:          autoK,
 			Extra: map[string]float64{
 				"k":           float64(r.opts.K),
 				"decision":    float64(label),
@@ -247,6 +308,7 @@ func (p *Pipeline) ReorderContext(ctx context.Context, a *sparse.CSR) (res *reor
 		Reordered:      false,
 		Degraded:       true,
 		DegradedReason: strings.Join(reasons, "; ") + "; fell back to identity",
+		AutoK:          autoK,
 		Extra: map[string]float64{
 			"k":        0,
 			"decision": float64(label),

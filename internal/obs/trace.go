@@ -207,6 +207,17 @@ func SimilarityModeUsed(ctx context.Context, mode string) {
 		"Spectral passes by similarity construction tier.", "mode").With(mode).Inc()
 }
 
+// AutoKName is the counter family recording eigengap auto-k attempts by
+// outcome (selected, fallback-ambiguous, fallback-implicit, degraded).
+// Exported so serving processes can assert on it from their registries.
+const AutoKName = "bootes_autok_total"
+
+// AutoKOutcome counts one auto-k attempt by its outcome label.
+func AutoKOutcome(ctx context.Context, outcome string) {
+	RegistryFrom(ctx).CounterVec(AutoKName,
+		"Eigengap auto-k attempts by outcome.", "outcome").With(outcome).Inc()
+}
+
 // Plan outcome labels.
 const (
 	OutcomeHealthy  = "healthy"  // reordered or gate-declined, no degradation

@@ -108,6 +108,11 @@ type Config struct {
 	// Heal, when set, contributes the anti-entropy healer's counters to
 	// /statsz (the healer's lifecycle belongs to the caller, like Queue's).
 	Heal *antientropy.Healer
+	// AutoK marks responses from this server as planned under eigengap
+	// auto-k: cache-hit responses report AutoK "cached" (the per-attempt
+	// outcome string is not persisted in cache entries). Purely cosmetic for
+	// the response body — the PlanFunc decides whether auto-k actually runs.
+	AutoK bool
 	// Seed seeds the retry jitter (deterministic tests); 0 uses a fixed seed.
 	Seed int64
 	// Metrics is the registry the server's serving counters register on and
@@ -381,6 +386,11 @@ type PlanResponse struct {
 	// ("exact", "bitset", "approx", "implicit"); empty when no spectral pass
 	// ran this request (gate decline, identity fallback, cache hit).
 	SimilarityMode string `json:"similarityMode,omitempty"`
+	// AutoK reports the eigengap auto-k outcome for this plan ("selected: …",
+	// "fallback-ambiguous: …", "fallback-implicit: …", "degraded", or
+	// "cached" for a cache hit planned under auto-k); empty when the server
+	// does not run auto-k.
+	AutoK string `json:"autoK,omitempty"`
 	// Cached is true when the plan came from the persistent cache;
 	// Coalesced when it was computed by a concurrent identical request;
 	// Breaker is "open" when the identity fast-path answered; PeerFilled
@@ -662,7 +672,7 @@ func (s *Server) servePlan(w http.ResponseWriter, r *http.Request) {
 			}
 			if len(vs) == 0 {
 				s.served.Inc()
-				s.respond(w, r, planResponseFromEntry(e), true, false, "")
+				s.respond(w, r, s.planResponseFromEntry(e), true, false, "")
 				return
 			}
 			planverify.Record(planverify.SiteServeHit, vs...)
@@ -693,7 +703,7 @@ func (s *Server) servePlan(w http.ResponseWriter, r *http.Request) {
 						s.cfg.Logf("planserve: replicating peer-filled plan %.12s failed: %v", key, err)
 					}
 				}
-				resp := planResponseFromEntry(e)
+				resp := s.planResponseFromEntry(e)
 				resp.PeerFilled = true
 				s.respond(w, r, resp, true, false, "")
 				return

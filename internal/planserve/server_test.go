@@ -698,3 +698,54 @@ func TestVerifyInjectedCorruptionCaughtAtServe(t *testing.T) {
 		t.Fatal("VerifyViolations did not move")
 	}
 }
+
+// TestAutoKResponseField pins the /v1/plan autoK field contract on a server
+// planning under auto-k: a fresh plan reports the pipeline's per-attempt
+// outcome string verbatim, and a cache hit reports "cached" (the entry was
+// keyed with auto-k, but the outcome string is not persisted). A server
+// without Config.AutoK must omit the field entirely.
+func TestAutoKResponseField(t *testing.T) {
+	leakcheck.Goroutines(t)
+	p := &countingPlanner{make: func(m *sparse.CSR, attempt int) (*reorder.Result, error) {
+		res := healthyResult(m)
+		res.AutoK = "selected: k=8 gap-ratio=2.10"
+		return res, nil
+	}}
+	cache, err := plancache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Plan: p.fn(), Cache: cache, AutoK: true})
+
+	m := testMatrix(t, 6)
+	decode := func(body string) PlanResponse {
+		t.Helper()
+		var pr PlanResponse
+		if err := json.Unmarshal([]byte(body), &pr); err != nil {
+			t.Fatalf("bad response %s: %v", body, err)
+		}
+		return pr
+	}
+	_, body := postPlan(t, ts.URL, mmBody(t, m), "")
+	if pr := decode(body); pr.Cached || pr.AutoK != "selected: k=8 gap-ratio=2.10" {
+		t.Fatalf("fresh plan autoK = %q (cached=%v), want the pipeline outcome", pr.AutoK, pr.Cached)
+	}
+	_, body = postPlan(t, ts.URL, mmBody(t, m), "")
+	if pr := decode(body); !pr.Cached || pr.AutoK != "cached" {
+		t.Fatalf("cache hit autoK = %q (cached=%v), want \"cached\"", pr.AutoK, pr.Cached)
+	}
+
+	// Without Config.AutoK the field stays empty on hits and the JSON
+	// omits it (omitempty) — fixed-k servers keep their response shape.
+	p2 := &countingPlanner{}
+	cache2, err := plancache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := newTestServer(t, Config{Plan: p2.fn(), Cache: cache2})
+	_, body = postPlan(t, ts2.URL, mmBody(t, m), "")
+	_, body = postPlan(t, ts2.URL, mmBody(t, m), "")
+	if strings.Contains(body, "autoK") {
+		t.Fatalf("fixed-k server leaked an autoK field: %s", body)
+	}
+}

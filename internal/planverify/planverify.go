@@ -12,9 +12,10 @@
 // The checks, in cost order:
 //
 //   - structural: the permutation is a bijection of exactly the matrix's row
-//     count; K is 0 or one of core.CandidateKs; Degraded implies a non-empty
-//     DegradedReason (and vice versa); Reordered agrees with whether the
-//     permutation is the identity. O(rows).
+//     count; K is 0 or a feasible cluster count (2..rows by default — auto-k
+//     may select any k in that range — or an explicitly configured allowed
+//     set); Degraded implies a non-empty DegradedReason (and vice versa);
+//     Reordered agrees with whether the permutation is the identity. O(rows).
 //   - traffic (optional, planning site only): the row-granular LRU model of
 //     internal/trafficmodel predicts the reordered matrix moves no more B
 //     bytes than the original order. A gate-approved plan that the model says
@@ -46,7 +47,8 @@ import (
 const (
 	// CodePermInvalid: the permutation is not a bijection on [0, rows).
 	CodePermInvalid = "perm-invalid"
-	// CodeBadK: K is neither 0 nor a candidate cluster count.
+	// CodeBadK: K is neither 0 nor a feasible cluster count (outside
+	// [2, rows], or outside the configured AllowedKs set).
 	CodeBadK = "k-not-allowed"
 	// CodeReasonMismatch: Degraded and DegradedReason disagree (a degraded
 	// plan without a reason, or a reason on a healthy plan).
@@ -108,8 +110,11 @@ func (v Violation) String() string {
 // Config parameterizes the checks. The zero value (or nil) selects the
 // defaults; the planning site additionally enables the traffic check.
 type Config struct {
-	// AllowedKs is the set of legal cluster counts besides 0.
-	// Empty selects core.CandidateKs.
+	// AllowedKs, when non-empty, restricts the legal cluster counts besides
+	// 0 to exactly this set. Empty applies the default rule: k = 0, or
+	// 2 ≤ k ≤ rows (any eigengap auto-k selection), or k ∈ core.CandidateKs
+	// (fixed-k requests record the requested candidate count, which may
+	// exceed a tiny matrix's row count).
 	AllowedKs []int
 	// Traffic enables the never-regress traffic check on reordered plans.
 	Traffic bool
@@ -124,9 +129,6 @@ func (c *Config) withDefaults() Config {
 	var out Config
 	if c != nil {
 		out = *c
-	}
-	if len(out.AllowedKs) == 0 {
-		out.AllowedKs = core.CandidateKs
 	}
 	if out.CacheBytes <= 0 {
 		out.CacheBytes = 1 << 20
@@ -201,8 +203,20 @@ func CheckPlan(rows int, perm sparse.Permutation, k int, reordered, degraded boo
 	} else {
 		permOK = true
 	}
-	if k != 0 && !kAllowed(k, c.AllowedKs) {
-		vs = append(vs, Violation{CodeBadK, fmt.Sprintf("k=%d not in %v", k, c.AllowedKs)})
+	if k != 0 {
+		switch {
+		case len(c.AllowedKs) > 0:
+			if !kAllowed(k, c.AllowedKs) {
+				vs = append(vs, Violation{CodeBadK, fmt.Sprintf("k=%d not in %v", k, c.AllowedKs)})
+			}
+		case (k < 2 || k > rows) && !kAllowed(k, core.CandidateKs):
+			// Default rule: auto-k may select any k in [2, rows]; fixed-k
+			// requests record the *requested* candidate count, which may
+			// exceed a tiny matrix's row count, so the candidate set stays
+			// legal at any size.
+			vs = append(vs, Violation{CodeBadK,
+				fmt.Sprintf("k=%d outside [2, %d] and not a candidate count", k, rows)})
+		}
 	}
 	if degraded && reason == "" {
 		vs = append(vs, Violation{CodeReasonMismatch, "degraded plan without a reason"})
@@ -348,6 +362,7 @@ func fallbackIdentity(rows int, res *reorder.Result, vs []Violation) *reorder.Re
 		Reordered:      false,
 		Degraded:       true,
 		DegradedReason: reason,
+		AutoK:          res.AutoK,
 		Extra:          map[string]float64{"k": 0},
 	}
 	for key, v := range res.Extra {

@@ -73,7 +73,9 @@ func TestCheckPlanViolations(t *testing.T) {
 		{"short perm", CheckPlan(4, sparse.Permutation{0, 1, 2}, 0, false, false, "", nil), CodePermInvalid},
 		{"duplicate value", CheckPlan(4, sparse.Permutation{0, 1, 1, 3}, 0, false, false, "", nil), CodePermInvalid},
 		{"out of range", CheckPlan(4, sparse.Permutation{0, 1, 2, 9}, 0, false, false, "", nil), CodePermInvalid},
-		{"bad k", CheckPlan(4, sparse.Permutation{1, 0, 2, 3}, 3, true, false, "", nil), CodeBadK},
+		{"k below 2", CheckPlan(4, sparse.Permutation{1, 0, 2, 3}, 1, true, false, "", nil), CodeBadK},
+		{"k above rows", CheckPlan(4, sparse.Permutation{1, 0, 2, 3}, 5, true, false, "", nil), CodeBadK},
+		{"k outside allowed set", CheckPlan(4, sparse.Permutation{1, 0, 2, 3}, 3, true, false, "", &Config{AllowedKs: []int{2, 4}}), CodeBadK},
 		{"degraded without reason", CheckPlan(4, sparse.IdentityPerm(4), 0, false, true, "", nil), CodeReasonMismatch},
 		{"reason without degraded", CheckPlan(4, sparse.IdentityPerm(4), 0, false, false, "oops", nil), CodeReasonMismatch},
 		{"reordered identity", CheckPlan(4, sparse.IdentityPerm(4), 2, true, false, "", nil), CodeReorderedMismatch},

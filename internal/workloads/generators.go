@@ -49,6 +49,21 @@ const (
 	// ArchFEM3D is a seven-point stencil on a ∛n×∛n×∛n grid with partially
 	// scrambled numbering (poisson3Da, helm3d01, copter2, ship_001).
 	ArchFEM3D
+	// ArchManySmallClusters hides many small groups (≈24 rows each, so the
+	// natural k is n/24 — far from any fixed candidate count) behind a
+	// symmetric random relabeling. The archetype where a fixed candidate-k
+	// sweep under-clusters badly and eigengap selection pays off.
+	ArchManySmallClusters
+	// ArchNoisyBlock64 is a 64-block diagonal pattern with uniform noise —
+	// the true k sits exactly at the top of the auto-k range and above the
+	// largest fixed candidate (32).
+	ArchNoisyBlock64
+	// ArchHubPowerLaw plants moderately sized communities underneath a few
+	// super-hub columns that appear in most rows. The hubs dominate raw
+	// similarity (every row overlaps every other through them), so recovering
+	// the communities requires the refinement pipeline to discount the
+	// uniform component.
+	ArchHubPowerLaw
 )
 
 // String names the archetype.
@@ -72,6 +87,12 @@ func (a Archetype) String() string {
 		return "random"
 	case ArchFEM3D:
 		return "fem-mesh-3d"
+	case ArchManySmallClusters:
+		return "many-small-clusters"
+	case ArchNoisyBlock64:
+		return "noisy-block64"
+	case ArchHubPowerLaw:
+		return "hub-power-law"
 	default:
 		return "unknown"
 	}
@@ -135,6 +156,12 @@ func Generate(a Archetype, p Params) *sparse.CSR {
 		return Random(p)
 	case ArchFEM3D:
 		return FEMMesh3D(p)
+	case ArchManySmallClusters:
+		return ManySmallClusters(p)
+	case ArchNoisyBlock64:
+		return NoisyBlock64(p)
+	case ArchHubPowerLaw:
+		return HubPowerLaw(p)
 	default:
 		return Random(p)
 	}
@@ -638,6 +665,171 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// plantedBlocks is the shared engine of the hidden-cluster archetypes: k
+// contiguous diagonal blocks of roughly equal size, each row drawing
+// (1-noise) of its support from its own block's column range and the rest
+// uniformly, with a symmetric random relabeling applied to rows and columns
+// alike so the structure is invisible to position. Unlike ScrambledBlock
+// there is no shared column base and no bridge rows — the clusters are clean
+// apart from the uniform noise, which makes the planted k recoverable by an
+// eigengap scan while staying hidden from any fixed candidate sweep when k
+// is off the candidate grid.
+func plantedBlocks(rng *rand.Rand, p Params, k int, noise float64) *sparse.CSR {
+	n := minInt(p.Rows, p.Cols)
+	if k < 2 {
+		k = 2
+	}
+	if k > n/2 {
+		k = maxInt(2, n/2)
+	}
+	perm := rng.Perm(n)
+	per := targetRowNNZ(p)
+	blockOf := func(i int) (lo, hi int) {
+		t := i * k / n
+		lo = t * n / k
+		hi = (t + 1) * n / k
+		if hi > n {
+			hi = n
+		}
+		return lo, hi
+	}
+	rows := make([][]int32, p.Rows)
+	for i := 0; i < p.Rows; i++ {
+		canon := i % n
+		lo, hi := blockOf(canon)
+		cnt := poissonish(rng, per)
+		if cnt < 2 {
+			cnt = 2
+		}
+		if cnt > p.Cols {
+			cnt = p.Cols
+		}
+		set := make(map[int32]struct{}, cnt)
+		for attempts := 0; len(set) < cnt && attempts < 20*cnt+64; attempts++ {
+			if rng.Float64() < noise {
+				set[int32(rng.Intn(p.Cols))] = struct{}{}
+			} else {
+				set[int32(perm[lo+rng.Intn(hi-lo)])] = struct{}{}
+			}
+		}
+		cols := make([]int32, 0, len(set))
+		for c := range set {
+			cols = append(cols, c)
+		}
+		rows[perm[canon]] = cols
+		if i >= n {
+			rows[i] = cols
+		}
+	}
+	for i := range rows {
+		if rows[i] == nil {
+			rows[i] = []int32{int32(i % p.Cols)}
+		}
+	}
+	return mustFromRows(p.Rows, p.Cols, rows)
+}
+
+// ManySmallClusters plants n/24 hidden groups of ≈24 rows each — a cluster
+// count far from every fixed candidate (for n=1536 the natural k is 64). The
+// fixed-k sweep must either merge dozens of groups per cluster or stop at
+// its largest candidate; eigengap selection reads k off the spectrum.
+func ManySmallClusters(p Params) *sparse.CSR {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x245c))
+	n := minInt(p.Rows, p.Cols)
+	return plantedBlocks(rng, p, maxInt(2, n/24), 0.06)
+}
+
+// NoisyBlock64 plants exactly 64 diagonal blocks under ≈12% uniform noise.
+// 64 is the ceiling of the auto-k scan and double the largest fixed
+// candidate, so it separates "scan found the planted k" from "sweep got
+// lucky".
+func NoisyBlock64(p Params) *sparse.CSR {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x64b1))
+	return plantedBlocks(rng, p, 64, 0.12)
+}
+
+// HubPowerLaw plants communities underneath super-hub columns: each row
+// couples to a few of the hubs with high probability, and hub *rows* (2%)
+// are dense power-law samplers across all columns. Raw dot-product
+// similarity is dominated by the hubs — every row overlaps every other —
+// so the clusters only emerge after the refinement pipeline thresholds the
+// uniform component away.
+func HubPowerLaw(p Params) *sparse.CSR {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x4b7a))
+	n := minInt(p.Rows, p.Cols)
+	k := maxInt(2, p.Groups)
+	perm := rng.Perm(n)
+	per := targetRowNNZ(p)
+	hubCount := maxInt(3, n/128)
+	hubs := make([]int32, hubCount)
+	for i := range hubs {
+		hubs[i] = int32(rng.Intn(p.Cols))
+	}
+	blockOf := func(i int) (lo, hi int) {
+		t := i * k / n
+		lo = t * n / k
+		hi = (t + 1) * n / k
+		if hi > n {
+			hi = n
+		}
+		return lo, hi
+	}
+	rows := make([][]int32, p.Rows)
+	for i := 0; i < p.Rows; i++ {
+		canon := i % n
+		lo, hi := blockOf(canon)
+		cnt := poissonish(rng, per)
+		if cnt < 2 {
+			cnt = 2
+		}
+		if cnt > p.Cols {
+			cnt = p.Cols
+		}
+		dense := rng.Float64() < 0.02 // hub row: power-law across everything
+		set := make(map[int32]struct{}, cnt)
+		if dense {
+			cnt = minInt(cnt*6, p.Cols)
+			for attempts := 0; len(set) < cnt && attempts < 20*cnt+64; attempts++ {
+				// rank^-1 bias toward low canonical indices, relabelled.
+				j := int(float64(n) * math.Pow(rng.Float64(), 3))
+				if j >= n {
+					j = n - 1
+				}
+				set[int32(perm[j])] = struct{}{}
+			}
+		} else {
+			for attempts := 0; len(set) < cnt && attempts < 20*cnt+64; attempts++ {
+				r := rng.Float64()
+				switch {
+				case r < 0.35: // hub coupling dominates raw similarity
+					set[hubs[rng.Intn(hubCount)]] = struct{}{}
+				case r < 0.95: // own community
+					set[int32(perm[lo+rng.Intn(hi-lo)])] = struct{}{}
+				default: // noise
+					set[int32(rng.Intn(p.Cols))] = struct{}{}
+				}
+			}
+		}
+		cols := make([]int32, 0, len(set))
+		for c := range set {
+			cols = append(cols, c)
+		}
+		rows[perm[canon]] = cols
+		if i >= n {
+			rows[i] = cols
+		}
+	}
+	for i := range rows {
+		if rows[i] == nil {
+			rows[i] = []int32{int32(i % p.Cols)}
+		}
+	}
+	return mustFromRows(p.Rows, p.Cols, rows)
 }
 
 // FEMMesh3D builds a seven-point stencil on a ∛n×∛n×∛n grid with partially

@@ -10,7 +10,8 @@ import (
 func TestAllArchetypesProduceValidMatrices(t *testing.T) {
 	archetypes := []Archetype{
 		ArchScrambledBlock, ArchFEM, ArchPowerLaw, ArchCircuit,
-		ArchLP, ArchKNN, ArchBanded, ArchRandom,
+		ArchLP, ArchKNN, ArchBanded, ArchRandom, ArchFEM3D,
+		ArchManySmallClusters, ArchNoisyBlock64, ArchHubPowerLaw,
 	}
 	for _, arch := range archetypes {
 		t.Run(arch.String(), func(t *testing.T) {
